@@ -1,0 +1,122 @@
+//===- bench/bench_comm_volume.cpp ----------------------------*- C++ -*-===//
+//
+// Regenerates the quantitative claims of Section 2.2: value-centric
+// communication vs the location-centric (FORTRAN-D-style) baseline.
+//
+//  (E11) Producer/consumer Y[j] += X[j-1]: dependence analysis forces the
+//        whole non-local section across every outer iteration; exact data
+//        flow moves at most one fresh word per outer iteration.
+//  (E12) Sparse subscript A[1000 i + j]: a single regular section
+//        descriptor transfers ~20x the accessed data.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/LocationCentric.h"
+#include "frontend/Parser.h"
+
+#include <cstdio>
+
+using namespace dmcc;
+
+static void producerConsumer() {
+  Program P = parseProgramOrDie(R"(
+param N;
+array X[N + 1];
+array Y[N + 1];
+for i = 0 to N {
+  X[i] = i;
+  for j = max(i, 1) to N {
+    Y[j] = Y[j] + X[j - 1];
+  }
+}
+)");
+  std::printf("== Section 2.2.2: producer/consumer Y[j] += X[j-1], "
+              "block distribution ==\n");
+  std::printf("%6s %8s | %16s %16s | %8s\n", "N", "block",
+              "location words", "value words", "ratio");
+  for (IntT N : {31, 63, 127, 255}) {
+    std::map<std::string, IntT> Params{{"N", N}};
+    IntT Block = (N + 1) / 8;
+    Decomposition DataD = blockData(P, 0, 0, Block);
+    TrafficEstimate Loc = locationCentricTraffic(P, 1, 1, DataD, Params);
+    TrafficEstimate Val = valueCentricTraffic(P, 1, 1, DataD, Params);
+    std::printf("%6lld %8lld | %16llu %16llu | %7.1fx\n",
+                static_cast<long long>(N), static_cast<long long>(Block),
+                static_cast<unsigned long long>(Loc.Words),
+                static_cast<unsigned long long>(Val.Words),
+                Val.Words ? static_cast<double>(Loc.Words) /
+                                static_cast<double>(Val.Words)
+                          : 0.0);
+  }
+  std::printf("paper: \"at most one word needs to be transferred in each "
+              "iteration of the outermost loop\"\n\n");
+}
+
+static void sparseSection() {
+  Program P = parseProgramOrDie(R"(
+param M;
+array A[101000];
+array B[300];
+for i = 1 to 100 {
+  for j = i to 100 {
+    B[i + j] = A[1000 * i + j];
+  }
+}
+)");
+  std::map<std::string, IntT> Params{{"M", 0}};
+  RegularSection S = sectionOf(P, 0, 0, {}, Params);
+  uint64_t Accessed = 0;
+  for (IntT I = 1; I <= 100; ++I)
+    Accessed += static_cast<uint64_t>(100 - I + 1);
+  std::printf("== Section 2.2.3: regular-section blowup for "
+              "A[1000 i + j] ==\n");
+  std::printf("accessed elements:        %llu\n",
+              static_cast<unsigned long long>(Accessed));
+  std::printf("regular section [%lld, %lld]: %llu elements\n",
+              static_cast<long long>(S.Lo[0]),
+              static_cast<long long>(S.Hi[0]),
+              static_cast<unsigned long long>(S.volume()));
+  std::printf("blowup factor:            %.1fx (paper: ~20x)\n\n",
+              static_cast<double>(S.volume()) /
+                  static_cast<double>(Accessed));
+}
+
+static void killChain() {
+  // Sanity: when every element of the section is a live value consumed
+  // exactly once (dense reversal through an updated array), the two
+  // schemes move the same volume — the value-centric approach only wins
+  // when values are reused or sections over-approximate.
+  Program P = parseProgramOrDie(R"(
+param N;
+array A[N + 1];
+array B[N + 1];
+for i = 0 to N {
+  A[i] = i;
+}
+for k = 0 to N {
+  A[k] = A[k] + 1;
+}
+for j = 0 to N {
+  B[j] = A[N - j];
+}
+)");
+  std::printf("== Dense update + reversal: equal volumes expected ==\n");
+  std::printf("%6s | %16s %16s\n", "N", "location words", "value words");
+  for (IntT N : {31, 127}) {
+    std::map<std::string, IntT> Params{{"N", N}};
+    Decomposition DataD = blockData(P, 0, 0, (N + 1) / 4);
+    TrafficEstimate Loc = locationCentricTraffic(P, 2, 0, DataD, Params);
+    TrafficEstimate Val = valueCentricTraffic(P, 2, 0, DataD, Params);
+    std::printf("%6lld | %16llu %16llu\n", static_cast<long long>(N),
+                static_cast<unsigned long long>(Loc.Words),
+                static_cast<unsigned long long>(Val.Words));
+  }
+  std::printf("\n");
+}
+
+int main() {
+  producerConsumer();
+  sparseSection();
+  killChain();
+  return 0;
+}

@@ -1,0 +1,135 @@
+//===- bench/bench_compile_time.cpp ---------------------------*- C++ -*-===//
+//
+// Section 7 reports that the compiler pass took 2.9 seconds to generate
+// the LU computation and communication code (on 1993 hardware). This
+// google-benchmark harness times the full pipeline — Last Write Trees,
+// communication sets, optimizations, SPMD generation — for several
+// kernels, plus the individual analysis stages.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/LastWriteTree.h"
+#include "frontend/Parser.h"
+#include "sim/Simulator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dmcc;
+
+namespace {
+
+const char *LUSource = R"(
+param N;
+array X[N + 1][N + 1];
+for i1 = 0 to N {
+  for i2 = i1 + 1 to N {
+    X[i2][i1] = X[i2][i1] / X[i1][i1];
+    for i3 = i1 + 1 to N {
+      X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3];
+    }
+  }
+}
+)";
+
+const char *StencilSource = R"(
+param T;
+param N;
+array X[N + 1];
+array Y[N + 1];
+for t = 0 to T {
+  for i = 1 to N - 1 {
+    Y[i] = X[i - 1] + X[i] + X[i + 1];
+  }
+  for i2 = 1 to N - 1 {
+    X[i2] = Y[i2];
+  }
+}
+)";
+
+const char *ShiftSource = R"(
+param T;
+param N;
+array X[N + 1];
+for t = 0 to T {
+  for i = 3 to N {
+    X[i] = X[i - 3];
+  }
+}
+)";
+
+CompileSpec luSpec(const Program &P) {
+  CompileSpec Spec;
+  Decomposition D = cyclicData(P, 0, 0);
+  Spec.Stmts.push_back(StmtPlan{0, ownerComputes(P, 0, D)});
+  Spec.Stmts.push_back(StmtPlan{1, ownerComputes(P, 1, D)});
+  Spec.InitialData.emplace(0, D);
+  Spec.FinalData.emplace(0, D);
+  return Spec;
+}
+
+void BM_ParseLU(benchmark::State &State) {
+  for (auto _ : State) {
+    Program P = parseProgramOrDie(LUSource);
+    benchmark::DoNotOptimize(P.numStatements());
+  }
+}
+BENCHMARK(BM_ParseLU);
+
+void BM_LastWriteTreesLU(benchmark::State &State) {
+  Program P = parseProgramOrDie(LUSource);
+  for (auto _ : State) {
+    for (unsigned S = 0; S != P.numStatements(); ++S)
+      for (unsigned R = 0; R != P.statement(S).Reads.size(); ++R) {
+        LastWriteTree T = buildLWT(P, S, R);
+        benchmark::DoNotOptimize(T.Contexts.size());
+      }
+  }
+}
+BENCHMARK(BM_LastWriteTreesLU);
+
+void BM_CompileLU(benchmark::State &State) {
+  // The paper's end-to-end number: "2.9 seconds to generate the
+  // computation and communication code" for LU.
+  Program P = parseProgramOrDie(LUSource);
+  CompileSpec Spec = luSpec(P);
+  for (auto _ : State) {
+    CompiledProgram CP = compile(P, Spec);
+    benchmark::DoNotOptimize(CP.Comms.size());
+  }
+}
+BENCHMARK(BM_CompileLU)->Unit(benchmark::kMillisecond);
+
+void BM_CompileStencil(benchmark::State &State) {
+  Program P = parseProgramOrDie(StencilSource);
+  CompileSpec Spec;
+  Decomposition DX = blockData(P, 0, 0, 64);
+  Decomposition DY = blockData(P, 1, 0, 64);
+  Spec.Stmts.push_back(StmtPlan{0, blockComputation(P, 0, 1, 64)});
+  Spec.Stmts.push_back(StmtPlan{1, blockComputation(P, 1, 1, 64)});
+  Spec.InitialData.emplace(0, DX);
+  Spec.InitialData.emplace(1, DY);
+  Spec.FinalData.emplace(0, DX);
+  Spec.FinalData.emplace(1, DY);
+  for (auto _ : State) {
+    CompiledProgram CP = compile(P, Spec);
+    benchmark::DoNotOptimize(CP.Comms.size());
+  }
+}
+BENCHMARK(BM_CompileStencil)->Unit(benchmark::kMillisecond);
+
+void BM_CompileShift(benchmark::State &State) {
+  Program P = parseProgramOrDie(ShiftSource);
+  CompileSpec Spec;
+  Spec.Stmts.push_back(StmtPlan{0, blockComputation(P, 0, 1, 32)});
+  Spec.InitialData.emplace(0, blockData(P, 0, 0, 32));
+  Spec.FinalData.emplace(0, blockData(P, 0, 0, 32));
+  for (auto _ : State) {
+    CompiledProgram CP = compile(P, Spec);
+    benchmark::DoNotOptimize(CP.Comms.size());
+  }
+}
+BENCHMARK(BM_CompileShift)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

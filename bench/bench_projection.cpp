@@ -1,0 +1,146 @@
+//===- bench/bench_projection.cpp -----------------------------*- C++ -*-===//
+//
+// Microbenchmarks of the polyhedral primitives every compiler phase rests
+// on (Section 5.1/5.2): Fourier-Motzkin elimination with and without
+// superfluous-constraint removal, integer feasibility, polyhedron
+// scanning, and parametric lexicographic optimization.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Scan.h"
+#include "math/LexOpt.h"
+#include "math/System.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dmcc;
+
+namespace {
+
+/// The Figure 5 communication-set system for the shift example.
+System figure5System() {
+  Space Sp;
+  Sp.add("ps", VarKind::Proc);
+  Sp.add("ts", VarKind::Loop);
+  Sp.add("is", VarKind::Loop);
+  Sp.add("pr", VarKind::Proc);
+  Sp.add("tr", VarKind::Loop);
+  Sp.add("ir", VarKind::Loop);
+  Sp.add("a", VarKind::Data);
+  Sp.add("T", VarKind::Param);
+  Sp.add("N", VarKind::Param);
+  System S(std::move(Sp));
+  auto V = [&](const char *N) {
+    return S.varExpr(static_cast<unsigned>(S.space().indexOf(N)));
+  };
+  S.addGE(V("tr"));
+  S.addGE(V("T") - V("tr"));
+  S.addGE(V("ir").plusConst(-3));
+  S.addGE(V("N") - V("ir"));
+  S.addGE(V("ir").plusConst(-6));
+  S.addEq(V("ts"), V("tr"));
+  S.addEq(V("is"), V("ir").plusConst(-3));
+  S.addEq(V("a"), V("ir").plusConst(-3));
+  S.addGE(V("ir") - V("ps").scale(32));
+  S.addGE(V("ps").scale(32).plusConst(31 + 3) - V("ir"));
+  S.addGE(V("ir") - V("pr").scale(32));
+  S.addGE(V("pr").scale(32).plusConst(31) - V("ir"));
+  S.addGE(V("pr") - V("ps").plusConst(-1)); // ps < pr
+  return S;
+}
+
+void BM_FMEliminationChain(benchmark::State &State) {
+  System S = figure5System();
+  for (auto _ : State) {
+    System R = S;
+    for (unsigned I = 0; I != 7; ++I)
+      if (R.involves(I))
+        R = R.fmEliminated(I);
+    benchmark::DoNotOptimize(R.numConstraints());
+  }
+}
+BENCHMARK(BM_FMEliminationChain);
+
+void BM_RedundancyRemoval(benchmark::State &State) {
+  System S = figure5System();
+  for (auto _ : State) {
+    System R = S;
+    R.removeRedundant();
+    benchmark::DoNotOptimize(R.numConstraints());
+  }
+}
+BENCHMARK(BM_RedundancyRemoval);
+
+void BM_IntegerFeasibility(benchmark::State &State) {
+  System S = figure5System();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.checkIntegerFeasible());
+}
+BENCHMARK(BM_IntegerFeasibility);
+
+void BM_ScanFigure6(benchmark::State &State) {
+  Space Sp;
+  Sp.add("i", VarKind::Loop);
+  Sp.add("j", VarKind::Loop);
+  System S(std::move(Sp));
+  S.addGE(S.varExpr(1) - S.constExpr(16) + S.varExpr(0));
+  S.addGE(S.varExpr(0).plusConst(12) - S.varExpr(1).scale(2));
+  S.addGE(S.varExpr(1).plusConst(-1));
+  S.addGE(S.constExpr(14) - S.varExpr(0));
+  std::vector<ScanVarPlan> Plan{ScanVarPlan{0, false, AffineExpr()},
+                                ScanVarPlan{1, false, AffineExpr()}};
+  for (auto _ : State) {
+    auto Code = scanPolyhedron(S, Plan, [&]() {
+      SpmdStmt C;
+      C.K = SpmdStmt::Kind::Compute;
+      std::vector<SpmdStmt> B;
+      B.push_back(std::move(C));
+      return B;
+    });
+    benchmark::DoNotOptimize(Code.size());
+  }
+}
+BENCHMARK(BM_ScanFigure6);
+
+void BM_ParametricLexMax(benchmark::State &State) {
+  // The Figure 2 last-write query: maximize (tw, iw).
+  Space Sp;
+  Sp.add("tw", VarKind::Loop);
+  Sp.add("iw", VarKind::Loop);
+  Sp.add("tr", VarKind::Param);
+  Sp.add("ir", VarKind::Param);
+  Sp.add("T", VarKind::Param);
+  Sp.add("N", VarKind::Param);
+  System S(std::move(Sp));
+  S.addGE(S.varExpr(0));
+  S.addGE(S.varExpr(4) - S.varExpr(0));
+  S.addGE(S.varExpr(1).plusConst(-3));
+  S.addGE(S.varExpr(5) - S.varExpr(1));
+  S.addEq(S.varExpr(1), S.varExpr(3).plusConst(-3));
+  S.addEq(S.varExpr(0), S.varExpr(2));
+  for (auto _ : State) {
+    LexResult R = lexMax(S, {0, 1});
+    benchmark::DoNotOptimize(R.Pieces.size());
+  }
+}
+BENCHMARK(BM_ParametricLexMax);
+
+void BM_Enumerate2DTriangle(benchmark::State &State) {
+  Space Sp;
+  Sp.add("i", VarKind::Loop);
+  Sp.add("j", VarKind::Loop);
+  System S(std::move(Sp));
+  S.addGE(S.varExpr(0));
+  S.addGE(S.varExpr(1) - S.varExpr(0));
+  S.addGE(S.constExpr(60) - S.varExpr(1));
+  for (auto _ : State) {
+    unsigned N = 0;
+    S.enumeratePoints([&](const std::vector<IntT> &) { ++N; });
+    benchmark::DoNotOptimize(N);
+  }
+}
+BENCHMARK(BM_Enumerate2DTriangle);
+
+} // namespace
+
+BENCHMARK_MAIN();

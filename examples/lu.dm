@@ -1,0 +1,17 @@
+# LU decomposition (paper Section 7) in the dmcc mini-language with
+# decomposition directives. Try:
+#   dmcc-cli examples/lu.dm --print-spmd
+#   dmcc-cli examples/lu.dm --simulate 8 --param N=64 --functional
+param N = 64;
+array X[N + 1][N + 1];
+
+decompose X cyclic(0);     # row k of X on virtual processor k
+
+for i1 = 0 to N {
+  for i2 = i1 + 1 to N {
+    X[i2][i1] = X[i2][i1] / X[i1][i1];
+    for i3 = i1 + 1 to N {
+      X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3];
+    }
+  }
+}

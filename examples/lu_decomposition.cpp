@@ -1,0 +1,125 @@
+//===- examples/lu_decomposition.cpp --------------------------*- C++ -*-===//
+//
+// The paper's Section 7 case study, end to end: LU decomposition with a
+// cyclic row decomposition for load balance.
+//
+//   * the Last Write Tree for the pivot-row read X[i1][i3] (Figure 12);
+//   * derived, optimized communication (multicast pivot rows);
+//   * the generated SPMD program (the analogue of Figure 13);
+//   * a functional simulated run verified against sequential LU;
+//   * a performance-mode run reporting achieved MFLOPS (Figure 14).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/LastWriteTree.h"
+#include "frontend/Parser.h"
+#include "ir/Interp.h"
+#include "sim/Simulator.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace dmcc;
+
+int main() {
+  Program P = parseProgramOrDie(R"(
+param N;
+array X[N + 1][N + 1];
+for i1 = 0 to N {
+  for i2 = i1 + 1 to N {
+    X[i2][i1] = X[i2][i1] / X[i1][i1];
+    for i3 = i1 + 1 to N {
+      X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3];
+    }
+  }
+}
+)");
+  std::printf("== LU kernel (Figure 11) ==\n%s\n", P.str().c_str());
+
+  // Figure 12: the data flow of the pivot-row read X[i1][i3].
+  LastWriteTree LWT = buildLWT(P, /*ReadStmt=*/1, /*ReadIdx=*/2);
+  std::printf("== Last Write Tree for X[i1][i3] (Figure 12) ==\n%s\n",
+              LWT.str(P).c_str());
+
+  // The paper's decomposition: row k of X lives on virtual processor k
+  // (cyclic onto the physical machine); owner-computes places iteration
+  // (i1, i2[, i3]) on the owner of row i2.
+  CompileSpec Spec;
+  Decomposition D = cyclicData(P, 0, 0);
+  Spec.Stmts.push_back(StmtPlan{0, ownerComputes(P, 0, D)});
+  Spec.Stmts.push_back(StmtPlan{1, ownerComputes(P, 1, D)});
+  Spec.InitialData.emplace(0, D);
+  Spec.FinalData.emplace(0, D);
+
+  CompiledProgram CP = compile(P, Spec);
+  std::printf("== compiled in %.2f s: %u communication sets, "
+              "%u multicast ==\n",
+              CP.Stats.CompileSeconds,
+              CP.Stats.NumCommSetsAfterSelfReuse,
+              CP.Stats.NumMulticastSets);
+  std::printf("== generated SPMD program (cf. Figure 13) ==\n%s\n",
+              CP.Spmd.str().c_str());
+
+  // Functional verification at N = 24 against sequential execution,
+  // reconstructing L*U to confirm a genuine factorization.
+  {
+    IntT N = 24;
+    std::map<std::string, IntT> Params{{"N", N}};
+    SeqInterpreter Gold(P, Params);
+    Gold.run();
+    SimOptions SO;
+    SO.PhysGrid = {5};
+    SO.ParamValues = Params;
+    Simulator Sim(P, CP, Spec, SO);
+    SimResult R = Sim.run();
+    if (!R.Ok) {
+      std::printf("functional run failed: %s\n", R.Error.c_str());
+      return 1;
+    }
+    unsigned Wrong = 0;
+    double MaxResidual = 0;
+    for (IntT Row = 0; Row <= N; ++Row)
+      for (IntT Col = 0; Col <= N; ++Col) {
+        auto Got = Sim.finalValue(0, {Row, Col});
+        if (!Got || *Got != Gold.arrayValue(0, {Row, Col}))
+          ++Wrong;
+        // Residual of A = L*U against the original contents.
+        double Sum = 0;
+        for (IntT K = 0; K <= std::min(Row, Col); ++K) {
+          double L = K == Row ? 1.0 : Gold.arrayValue(0, {Row, K});
+          double U = Gold.arrayValue(0, {K, Col});
+          Sum += L * U;
+        }
+        MaxResidual = std::max(
+            MaxResidual,
+            std::fabs(Sum - initialArrayValue(0, Row * (N + 1) + Col)));
+      }
+    std::printf("== functional verification (N = 24, 5 processors) ==\n");
+    std::printf("elements differing from sequential execution: %u\n",
+                Wrong);
+    std::printf("max |A - L*U| residual: %.2e\n\n", MaxResidual);
+    if (Wrong)
+      return 1;
+  }
+
+  // Performance mode: the Figure 14 story in one line per machine size.
+  std::printf("== simulated performance (N = 512) ==\n");
+  for (IntT Procs : {1, 8, 32}) {
+    SimOptions SO;
+    SO.PhysGrid = {Procs};
+    SO.ParamValues = {{"N", 512}};
+    SO.Functional = false;
+    SO.CollapseLoops = true;
+    Simulator Sim(P, CP, Spec, SO);
+    SimResult R = Sim.run();
+    if (!R.Ok) {
+      std::printf("performance run failed: %s\n", R.Error.c_str());
+      return 1;
+    }
+    std::printf("P = %2lld: %8.3f s, %6.1f MFLOPS, %llu messages\n",
+                static_cast<long long>(Procs), R.MakespanSeconds,
+                static_cast<double>(R.Flops) / R.MakespanSeconds / 1e6,
+                static_cast<unsigned long long>(R.Messages));
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+//===- examples/privatization.cpp -----------------------------*- C++ -*-===//
+//
+// The array-privatization example of Section 2.2.2: a work array written
+// and read within each outer iteration. Alias-based dependence analysis
+// reports a level-1 dependence and would serialize the outer loop; exact
+// data flow proves every read's producer is in the same outer iteration,
+// so the outer loop parallelizes with a private copy per processor — on
+// a distributed-memory machine that copy is simply the processor's local
+// memory, and the compiled program moves zero words.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/LocationCentric.h"
+#include "dataflow/LastWriteTree.h"
+#include "frontend/Parser.h"
+#include "ir/Interp.h"
+#include "sim/Simulator.h"
+
+#include <cstdio>
+
+using namespace dmcc;
+
+int main() {
+  Program P = parseProgramOrDie(R"(
+param N;
+array w[N + 1];
+array out[N + 1][N + 1];
+for i = 0 to N {
+  for j = 0 to N {
+    w[j] = i + j;
+  }
+  for j2 = 0 to N {
+    out[i][j2] = w[j2];
+  }
+}
+)");
+  std::printf("== source ==\n%s\n", P.str().c_str());
+
+  // What alias analysis sees: a loop-carried dependence at level 1.
+  unsigned MaxLevel = maxDependenceLevel(P, /*ReadStmt=*/1, /*ReadIdx=*/0);
+  std::printf("alias-based dependence analysis: max level %u "
+              "(the outer loop looks serial)\n\n",
+              MaxLevel);
+
+  // What exact data flow sees: every read's producer shares the outer
+  // iteration (loop-independent, level 2).
+  LastWriteTree T = buildLWT(P, 1, 0);
+  std::printf("== Last Write Tree for w[j2] ==\n%s\n", T.str(P).c_str());
+
+  // Compile with the outer loop distributed cyclically: both inner loops
+  // of an outer iteration run on the same processor, so w is naturally
+  // private and no communication is generated for it.
+  CompileSpec Spec;
+  Spec.Stmts.push_back(StmtPlan{0, cyclicComputation(P, 0, /*LoopPos=*/0)});
+  Spec.Stmts.push_back(StmtPlan{1, cyclicComputation(P, 1, 0)});
+  Spec.InitialData.emplace(0, replicatedData(P, 0));
+  Spec.FinalData.emplace(1, cyclicData(P, 1, /*Dim=*/0));
+  CompiledProgram CP = compile(P, Spec);
+  std::printf("communication sets generated: %u\n",
+              CP.Stats.NumCommSetsAfterSelfReuse);
+
+  std::map<std::string, IntT> Params{{"N", 19}};
+  SeqInterpreter Gold(P, Params);
+  Gold.run();
+  SimOptions SO;
+  SO.PhysGrid = {4};
+  SO.ParamValues = Params;
+  Simulator Sim(P, CP, Spec, SO);
+  SimResult R = Sim.run();
+  if (!R.Ok) {
+    std::printf("run failed: %s\n", R.Error.c_str());
+    return 1;
+  }
+  unsigned Wrong = 0;
+  for (IntT I = 0; I <= 19; ++I)
+    for (IntT J = 0; J <= 19; ++J) {
+      auto Got = Sim.finalValue(1, {I, J});
+      if (!Got || *Got != Gold.arrayValue(1, {I, J}))
+        ++Wrong;
+    }
+  std::printf("simulated on 4 processors: %llu messages, %llu words; "
+              "verification %s\n",
+              static_cast<unsigned long long>(R.Messages),
+              static_cast<unsigned long long>(R.Words),
+              Wrong ? "FAILED" : "ok");
+  std::printf("(the work array never crosses the network: it is private "
+              "per processor)\n");
+  return Wrong == 0 ? 0 : 1;
+}

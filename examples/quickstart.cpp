@@ -1,0 +1,87 @@
+//===- examples/quickstart.cpp --------------------------------*- C++ -*-===//
+//
+// Quickstart: compile the paper's running example (Figure 2) end to end.
+//
+//   for t = 0..T:  for i = 3..N:  X[i] = X[i-3]
+//
+// with iterations distributed in blocks of 32 across a 1-D processor
+// grid. Shows every stage: the exact data-flow analysis (the Last Write
+// Tree of Figure 3), the derived communication sets (Figure 5), the
+// generated SPMD program (Figures 7/10), and a simulated run verified
+// against sequential execution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/LastWriteTree.h"
+#include "frontend/Parser.h"
+#include "ir/Interp.h"
+#include "sim/Simulator.h"
+
+#include <cstdio>
+
+using namespace dmcc;
+
+int main() {
+  // 1. Write the kernel in the affine mini-language.
+  Program P = parseProgramOrDie(R"(
+param T;
+param N;
+array X[N + 1];
+for t = 0 to T {
+  for i = 3 to N {
+    X[i] = X[i - 3];
+  }
+}
+)");
+  std::printf("== source ==\n%s\n", P.str().c_str());
+
+  // 2. Exact array data flow: who produced the value each read consumes?
+  LastWriteTree LWT = buildLWT(P, /*ReadStmt=*/0, /*ReadIdx=*/0);
+  std::printf("== Last Write Tree (Figure 3) ==\n%s\n",
+              LWT.str(P).c_str());
+
+  // 3. Decompositions: blocks of 32 iterations / 32 array elements.
+  CompileSpec Spec;
+  Spec.Stmts.push_back(StmtPlan{0, blockComputation(P, 0, 1, 32)});
+  Spec.InitialData.emplace(0, blockData(P, 0, 0, 32));
+  Spec.FinalData.emplace(0, blockData(P, 0, 0, 32));
+
+  // 4. Compile: communication sets, optimizations, SPMD generation.
+  CompiledProgram CP = compile(P, Spec);
+  std::printf("== compiled in %.3f s: %u communication sets ==\n",
+              CP.Stats.CompileSeconds, CP.Stats.NumCommSetsAfterSelfReuse);
+  std::printf("%s\n", CP.Spmd.str().c_str());
+
+  // 5. Execute on the simulated distributed-memory machine and verify
+  // against the sequential interpreter.
+  std::map<std::string, IntT> Params{{"T", 6}, {"N", 127}};
+  SeqInterpreter Gold(P, Params);
+  Gold.run();
+
+  SimOptions SO;
+  SO.PhysGrid = {4};
+  SO.ParamValues = Params;
+  Simulator Sim(P, CP, Spec, SO);
+  SimResult R = Sim.run();
+  if (!R.Ok) {
+    std::printf("simulation failed: %s\n", R.Error.c_str());
+    return 1;
+  }
+  unsigned Wrong = 0, Checked = 0;
+  for (IntT K = 0; K <= 127; ++K) {
+    auto Got = Sim.finalValue(0, {K});
+    ++Checked;
+    if (!Got || *Got != Gold.arrayValue(0, {K}))
+      ++Wrong;
+  }
+  std::printf("== simulated run ==\n");
+  std::printf("processors: 4 physical; messages: %llu (%llu words); "
+              "makespan %.4f s\n",
+              static_cast<unsigned long long>(R.Messages),
+              static_cast<unsigned long long>(R.Words),
+              R.MakespanSeconds);
+  std::printf("verification: %u/%u final elements identical to "
+              "sequential execution\n",
+              Checked - Wrong, Checked);
+  return Wrong == 0 ? 0 : 1;
+}

@@ -1,0 +1,20 @@
+# 1-D Jacobi stencil with explicit computation decompositions.
+#   dmcc-cli examples/stencil.dm --simulate 4 --param T=8 --param N=63 --functional
+param T = 8;
+param N = 63;
+array X[N + 1];
+array Y[N + 1];
+
+decompose X block(0, 16);
+decompose Y block(0, 16);
+compute S0 block(1, 16);   # iteration i of the sweep on the owner of Y[i]
+compute S1 block(1, 16);
+
+for t = 0 to T {
+  for i = 1 to N - 1 {
+    Y[i] = X[i - 1] + X[i] + X[i + 1];
+  }
+  for i2 = 1 to N - 1 {
+    X[i2] = Y[i2];
+  }
+}

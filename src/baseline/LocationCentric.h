@@ -1,0 +1,100 @@
+//===- baseline/LocationCentric.h - FORTRAN-D-style baseline ---*- C++ -*-===//
+//
+// Part of dmcc, a reproduction of Amarasinghe & Lam, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The conventional location-centric approach of Section 2, reimplemented
+/// as a comparison baseline: data dependence analysis (aliasing of
+/// locations, with loop-carry levels), regular section descriptors
+/// (bounding boxes of the data touched between communication points), and
+/// owner-computes communication placed at the boundaries of the deepest
+/// dependence-carrying loop. The traffic estimator reproduces the
+/// limitations Section 2.2 describes — values re-sent because dependence
+/// analysis cannot tell which instances carry them, and section blowup
+/// when the accessed set is not a dense box.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMCC_BASELINE_LOCATIONCENTRIC_H
+#define DMCC_BASELINE_LOCATIONCENTRIC_H
+
+#include "decomp/Decomposition.h"
+#include "ir/Program.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dmcc {
+
+/// A data dependence between two accesses (classic alias-based analysis).
+struct Dependence {
+  unsigned FromStmt = 0; ///< source (the write)
+  unsigned ToStmt = 0;   ///< sink (the read access under analysis)
+  unsigned ReadIdx = 0;
+  /// Loop level carrying the dependence: 1-based over the sink's common
+  /// loops; CommonDepth+1 denotes loop-independent.
+  unsigned Level = 0;
+};
+
+/// All dependences whose sink is the given read access, one entry per
+/// (writer, level) with a witness pair of iterations.
+std::vector<Dependence> dependencesOnto(const Program &P, unsigned ReadStmt,
+                                        unsigned ReadIdx);
+
+/// The deepest level at which any write is involved in a dependence with
+/// the read (the paper's "maximum depth": communication may legally be
+/// hoisted only outside loops deeper than this). 0 when no dependence
+/// exists (communication can precede the whole nest).
+unsigned maxDependenceLevel(const Program &P, unsigned ReadStmt,
+                            unsigned ReadIdx);
+
+/// A regular section descriptor: a per-dimension integer bounding box.
+struct RegularSection {
+  std::vector<IntT> Lo, Hi;
+  bool Empty = true;
+
+  /// Number of array elements the box covers.
+  uint64_t volume() const;
+};
+
+/// The regular section of the data the read access touches while the
+/// first \p PrefixLen loop indices are pinned to \p Prefix (the interval
+/// between communication points). Exact via enumeration of the remaining
+/// iterations (parameters supplied concretely).
+RegularSection sectionOf(const Program &P, unsigned ReadStmt,
+                         unsigned ReadIdx, const std::vector<IntT> &Prefix,
+                         const std::map<std::string, IntT> &Params);
+
+/// Traffic of one scheme, for head-to-head benches.
+struct TrafficEstimate {
+  uint64_t Messages = 0;
+  uint64_t Words = 0;
+  /// Words that name array elements the program never actually reads in
+  /// the interval (section over-approximation, Section 2.2.3).
+  uint64_t WastedWords = 0;
+};
+
+/// Estimated traffic of the location-centric scheme for one read access:
+/// at every iteration of the loops enclosing the deepest dependence
+/// level, each processor fetches the non-local part of the read's regular
+/// section from the owners (one message per (owner, reader) pair per
+/// interval). \p DataD must be a unique data decomposition; computation
+/// follows the owner-computes rule on the statement's own write.
+TrafficEstimate locationCentricTraffic(
+    const Program &P, unsigned ReadStmt, unsigned ReadIdx,
+    const Decomposition &DataD, const std::map<std::string, IntT> &Params);
+
+/// Exact traffic of the value-centric scheme for the same configuration
+/// (each live value crosses once per consuming processor), measured by
+/// enumerating actual cross-processor reads in an instrumented run.
+TrafficEstimate valueCentricTraffic(
+    const Program &P, unsigned ReadStmt, unsigned ReadIdx,
+    const Decomposition &DataD, const std::map<std::string, IntT> &Params);
+
+} // namespace dmcc
+
+#endif // DMCC_BASELINE_LOCATIONCENTRIC_H

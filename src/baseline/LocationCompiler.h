@@ -1,0 +1,56 @@
+//===- baseline/LocationCompiler.h - Location-centric codegen --*- C++ -*-===//
+//
+// Part of dmcc, a reproduction of Amarasinghe & Lam, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A complete code-generation path for the conventional location-centric
+/// scheme of Section 2 — the FORTRAN-D-style strategy the paper compares
+/// against — built on the same polyhedral framework (the paper notes its
+/// techniques "are applicable to both the value-centric approach ... as
+/// well as the conventional location-centric approach"):
+///
+///   * computation decompositions from the owner-computes rule
+///     (Theorem 1);
+///   * communication derived from data decompositions (Theorem 2):
+///     a processor fetches, from the owners, every non-local location its
+///     reads touch;
+///   * placement at the boundaries of the deepest dependence-carrying
+///     loop (alias-based levels, Section 2.1);
+///   * message contents summarized by projecting away the iteration
+///     variables — the polyhedral equivalent of regular sections,
+///     including their over-approximation.
+///
+/// The result is a CompiledProgram executable on the same simulator, so
+/// the two schemes can be compared end to end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMCC_BASELINE_LOCATIONCOMPILER_H
+#define DMCC_BASELINE_LOCATIONCOMPILER_H
+
+#include "core/Compiler.h"
+
+#include <map>
+
+namespace dmcc {
+
+/// Input: one (non-replicated, non-overlapped) data decomposition per
+/// array; computation decompositions follow owner-computes.
+struct LocationSpec {
+  std::map<unsigned, Decomposition> Data;
+};
+
+/// Compiles \p P with the location-centric strategy. The returned
+/// CompileSpec (owner-computes computation decompositions plus the given
+/// layouts as initial and final) is written to \p OutSpec for use with
+/// the Simulator.
+CompiledProgram compileLocationCentric(const Program &P,
+                                       const LocationSpec &Spec,
+                                       CompileSpec &OutSpec,
+                                       unsigned GridDims = 1);
+
+} // namespace dmcc
+
+#endif // DMCC_BASELINE_LOCATIONCOMPILER_H

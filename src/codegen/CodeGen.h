@@ -1,0 +1,116 @@
+//===- codegen/CodeGen.h - SPMD code generation ----------------*- C++ -*-===//
+//
+// Part of dmcc, a reproduction of Amarasinghe & Lam, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates the per-processor SPMD fragments (Section 5.3) that the
+/// driver merges along the source loop tree (Section 5.4):
+///
+///  * computation fragments — scans of a statement's computation
+///    decomposition, with the executing processor's coordinates bound;
+///  * receive fragments — scans of a communication set in
+///    (pr, r-prefix | ps, s, r-suffix, el) order, the message boundary
+///    placed after the prefix (aggregation, Section 6.2);
+///  * send fragments — scans in (ps, s-prefix | pr, s-suffix, r, el)
+///    order, with multicast emission when the content is
+///    receiver-independent (Section 6.2.1).
+///
+/// Fragments assume the shared sequential loops (the aggregation prefix)
+/// are emitted by the caller; constraints on those outer variables become
+/// guards inside the fragment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMCC_CODEGEN_CODEGEN_H
+#define DMCC_CODEGEN_CODEGEN_H
+
+#include "codegen/SpmdAst.h"
+#include "comm/CommSet.h"
+#include "decomp/Decomposition.h"
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace dmcc {
+
+/// Per-statement compilation plan.
+struct StmtPlan {
+  unsigned StmtId = 0;
+  Decomposition Comp; ///< computation decomposition (must be unique)
+};
+
+/// One communication action to emit.
+struct CommPlan {
+  CommSet Set;
+  /// Number of outer (source) loops per message batch: messages are
+  /// emitted per (peer pair, first AggLevel loop indices). The paper's
+  /// aggregation at dependence level k corresponds to AggLevel == k-1;
+  /// AggLevel == k is always deadlock-free (see aggregationSafe()).
+  unsigned AggLevel = 0;
+  bool Multicast = false;
+};
+
+/// Manages the single variable space of a generated SPMD program.
+class SpmdSpace {
+public:
+  SpmdSpace(const Program &P, unsigned GridDims);
+
+  SpmdProgram &prog() { return Out; }
+  const Program &program() const { return P; }
+
+  /// Ensures a variable exists; returns its index in the program space.
+  unsigned ensureVar(const std::string &Name, VarKind Kind);
+
+  /// Imports \p S into the program space: variables are matched by name
+  /// after applying \p Rename (aux variables are renamed apart
+  /// unconditionally). Missing variables are created.
+  System importSystem(const System &S,
+                      const std::function<std::string(const std::string &)>
+                          &Rename = nullptr);
+
+  /// Fresh communication tag.
+  unsigned nextCommId() { return Out.NumCommIds++; }
+
+private:
+  const Program &P;
+  SpmdProgram Out;
+};
+
+/// Computation fragment for one statement: loops over the iterations the
+/// executing processor owns, skipping the first \p SkipLoops source loops
+/// (they are emitted by the caller as shared sequential loops).
+std::vector<SpmdStmt> genComputeFragment(SpmdSpace &SS, const StmtPlan &SP,
+                                         unsigned SkipLoops);
+
+/// Receive fragment for one communication set (executed by receivers).
+/// The first CP.AggLevel reader loops must enclose the fragment.
+std::vector<SpmdStmt> genRecvFragment(SpmdSpace &SS, const CommPlan &CP,
+                                      unsigned CommId);
+
+/// Send fragment (executed by senders); mirrors genRecvFragment.
+std::vector<SpmdStmt> genSendFragment(SpmdSpace &SS, const CommPlan &CP,
+                                      unsigned CommId);
+
+/// Shared sequential loop over a source loop's global bounds.
+SpmdStmt makeSharedLoop(SpmdSpace &SS, unsigned LoopId);
+
+/// True if batching the set's messages per (peer pair, first \p AggLevel
+/// sender loops) cannot stall a consumer behind its producer: no item's
+/// production follows another item's consumption within one message.
+bool aggregationSafe(const Program &P, const CommSet &CS,
+                     unsigned AggLevel);
+
+/// Section 5.5: the local bounding box of array data that one processor
+/// touches through the given access: per-dimension bounds over
+/// (myp*, params). Returns false if some dimension is unbounded.
+struct LocalBox {
+  std::vector<std::vector<SpmdBound>> Lower, Upper;
+};
+bool computeLocalBox(SpmdSpace &SS, const StmtPlan &SP, const Access &A,
+                     LocalBox &Box);
+
+} // namespace dmcc
+
+#endif // DMCC_CODEGEN_CODEGEN_H

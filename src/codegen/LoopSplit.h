@@ -1,0 +1,47 @@
+//===- codegen/LoopSplit.h - Static loop splitting -------------*- C++ -*-===//
+//
+// Part of dmcc, a reproduction of Amarasinghe & Lam, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 5.4's static loop splitting: instead of testing affine guards
+/// in every iteration of a merged loop, split the iteration range at the
+/// guards' breakpoints so each sub-range runs guard-free:
+///
+///     for i = 0 to 300 {            for i = 0 to 99    { recv; }
+///       if (i <= 200) recv;   ==>   for i = 100 to 200 { recv; send; }
+///       if (i >= 100) send;         for i = 201 to 300 { send; }
+///     }
+///
+/// Like the paper's compiler, splitting is applied when the relative
+/// order of the breakpoints is known — here, when the loop bounds and the
+/// guard breakpoints differ only in their constant terms (the common case
+/// after merging: the shared loop's bounds and every guard are affine in
+/// the same outer variables). Guards that do not meet the criterion stay
+/// as run-time tests (the paper's dynamic fallback).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMCC_CODEGEN_LOOPSPLIT_H
+#define DMCC_CODEGEN_LOOPSPLIT_H
+
+#include "codegen/SpmdAst.h"
+
+namespace dmcc {
+
+/// Statistics of one splitting pass.
+struct LoopSplitStats {
+  unsigned LoopsSplit = 0;
+  unsigned GuardsEliminated = 0;
+  unsigned GuardsKept = 0;
+};
+
+/// Splits eligible loops in place. \p MaxSegments bounds code growth per
+/// loop; loops whose guard structure would need more segments are left
+/// untouched.
+LoopSplitStats splitLoops(SpmdProgram &Prog, unsigned MaxSegments = 8);
+
+} // namespace dmcc
+
+#endif // DMCC_CODEGEN_LOOPSPLIT_H

@@ -1,0 +1,178 @@
+//===- codegen/Printer.cpp - C-like SPMD pretty printing -------*- C++ -*-===//
+//
+// Renders generated SPMD programs in the style of the paper's Figures 7,
+// 10 and 13.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/SpmdAst.h"
+
+using namespace dmcc;
+
+namespace {
+
+/// Prints an expression that may be over a prefix of \p Sp (the program
+/// space grows append-only while fragments are generated).
+std::string exprStr(const AffineExpr &E, const Space &Sp) {
+  std::string S;
+  bool First = true;
+  auto Term = [&](IntT C, const std::string &Name) {
+    if (C == 0)
+      return;
+    if (First) {
+      if (C < 0)
+        S += "-";
+      First = false;
+    } else {
+      S += C < 0 ? " - " : " + ";
+    }
+    IntT A = C < 0 ? -C : C;
+    if (A != 1 || Name.empty()) {
+      S += std::to_string(A);
+      if (!Name.empty())
+        S += "*";
+    }
+    S += Name;
+  };
+  for (unsigned I = 0, N = E.size(); I != N; ++I)
+    Term(E.coeff(I), I < Sp.size() ? Sp.name(I) : "?");
+  if (E.constant() != 0 || First)
+    Term(E.constant(), "");
+  if (First)
+    S = "0";
+  return S;
+}
+
+std::string boundStr(const std::vector<SpmdBound> &Bs, const Space &Sp,
+                     bool IsLower) {
+  auto One = [&](const SpmdBound &B) {
+    std::string E = exprStr(B.Num, Sp);
+    if (B.Den == 1)
+      return E;
+    return std::string(IsLower ? "ceild(" : "floord(") + E + ", " +
+           std::to_string(B.Den) + ")";
+  };
+  if (Bs.size() == 1)
+    return One(Bs[0]);
+  std::string S = IsLower ? "max(" : "min(";
+  for (unsigned I = 0; I != Bs.size(); ++I) {
+    if (I)
+      S += ", ";
+    S += One(Bs[I]);
+  }
+  return S + ")";
+}
+
+std::string condStr(const Constraint &C, const Space &Sp) {
+  return exprStr(C.Expr, Sp) + (C.isEquality() ? " == 0" : " >= 0");
+}
+
+std::string peerStr(const std::vector<AffineExpr> &Peer, const Space &Sp) {
+  std::string S = "(";
+  for (unsigned I = 0; I != Peer.size(); ++I) {
+    if (I)
+      S += ", ";
+    S += exprStr(Peer[I], Sp);
+  }
+  return S + ")";
+}
+
+void printStmt(const SpmdStmt &St, const Space &Sp, unsigned Indent,
+               std::string &Out) {
+  std::string Pad(2 * Indent, ' ');
+  switch (St.K) {
+  case SpmdStmt::Kind::Seq:
+    for (const SpmdStmt &C : St.Body)
+      printStmt(C, Sp, Indent, Out);
+    return;
+  case SpmdStmt::Kind::For: {
+    Out += Pad + "for " + Sp.name(St.Var) + " = " +
+           boundStr(St.Lower, Sp, true) + " to " +
+           boundStr(St.Upper, Sp, false) + " {\n";
+    for (const SpmdStmt &C : St.Body)
+      printStmt(C, Sp, Indent + 1, Out);
+    Out += Pad + "}\n";
+    return;
+  }
+  case SpmdStmt::Kind::If: {
+    Out += Pad + "if (";
+    for (unsigned I = 0; I != St.Conds.size(); ++I) {
+      if (I)
+        Out += " && ";
+      Out += condStr(St.Conds[I], Sp);
+    }
+    Out += ") {\n";
+    for (const SpmdStmt &C : St.Body)
+      printStmt(C, Sp, Indent + 1, Out);
+    Out += Pad + "}\n";
+    return;
+  }
+  case SpmdStmt::Kind::SetVar: {
+    Out += Pad + Sp.name(St.Var) + " = ";
+    if (St.ValueDen == 1)
+      Out += exprStr(St.Value, Sp);
+    else
+      Out += "floord(" + exprStr(St.Value, Sp) + ", " +
+             std::to_string(St.ValueDen) + ")";
+    Out += ";\n";
+    return;
+  }
+  case SpmdStmt::Kind::Compute: {
+    Out += Pad + "execute S" + std::to_string(St.StmtId) + "(";
+    for (unsigned I = 0; I != St.IterExprs.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += exprStr(St.IterExprs[I], Sp);
+    }
+    Out += ");\n";
+    return;
+  }
+  case SpmdStmt::Kind::Send: {
+    Out += Pad + (St.IsMulticast ? "multicast" : "send") + std::string(
+               " message[c") +
+           std::to_string(St.CommId) + "] to " + peerStr(St.Peer, Sp) +
+           " packed as {\n";
+    for (const SpmdStmt &C : St.Body)
+      printStmt(C, Sp, Indent + 1, Out);
+    Out += Pad + "}\n";
+    return;
+  }
+  case SpmdStmt::Kind::Recv: {
+    Out += Pad + "receive message[c" + std::to_string(St.CommId) +
+           "] from " + peerStr(St.Peer, Sp) + " unpacked as {\n";
+    for (const SpmdStmt &C : St.Body)
+      printStmt(C, Sp, Indent + 1, Out);
+    Out += Pad + "}\n";
+    return;
+  }
+  case SpmdStmt::Kind::PackElem: {
+    Out += Pad + "buffer[idx++] = A" + std::to_string(St.ArrayId);
+    for (const AffineExpr &E : St.Indices)
+      Out += "[" + exprStr(E, Sp) + "]";
+    Out += ";\n";
+    return;
+  }
+  case SpmdStmt::Kind::UnpackElem: {
+    Out += Pad + "A" + std::to_string(St.ArrayId);
+    for (const AffineExpr &E : St.Indices)
+      Out += "[" + exprStr(E, Sp) + "]";
+    Out += " = buffer[idx++];\n";
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::string SpmdProgram::str() const {
+  std::string Out = "// SPMD program; executing processor = (";
+  for (unsigned I = 0; I != MyProcVars.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Sp.name(MyProcVars[I]);
+  }
+  Out += ")\n";
+  for (const SpmdStmt &St : Top)
+    printStmt(St, Sp, 0, Out);
+  return Out;
+}

@@ -1,0 +1,94 @@
+//===- codegen/SpmdAst.h - SPMD program representation ---------*- C++ -*-===//
+//
+// Part of dmcc, a reproduction of Amarasinghe & Lam, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SPMD program emitted by the code generator (Section 5): one loop
+/// tree executed by every processor, with the processor's grid coordinate
+/// bound to the variables myp0.. All loop bounds and guards are affine in
+/// a single variable space, so the program can be both pretty-printed as
+/// C-like text (Figures 7/10/13) and executed directly by the machine
+/// simulator in src/sim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMCC_CODEGEN_SPMDAST_H
+#define DMCC_CODEGEN_SPMDAST_H
+
+#include "math/System.h"
+
+#include <string>
+#include <vector>
+
+namespace dmcc {
+
+/// ceil(Num/Den) (lower) or floor(Num/Den) (upper) loop bound.
+struct SpmdBound {
+  AffineExpr Num;
+  IntT Den = 1;
+};
+
+/// One SPMD statement.
+struct SpmdStmt {
+  enum class Kind {
+    Seq,     ///< sequence of Body statements
+    For,     ///< for Var = max(Lower) .. min(Upper) { Body }
+    If,      ///< if (Conds) { Body }
+    SetVar,  ///< Var = Value (degenerate loop, Section 5.2)
+    Compute, ///< execute source statement StmtId at iteration IterExprs
+    Send,    ///< pack Body's PackElem leaves, send to processor Peer
+    Recv,    ///< receive from Peer, unpack via Body's UnpackElem leaves
+    PackElem,   ///< append Array[Indices] to the outgoing buffer
+    UnpackElem, ///< store next buffer word into local Array[Indices]
+  };
+
+  Kind K = Kind::Seq;
+  std::vector<SpmdStmt> Body;
+
+  // For / SetVar.
+  unsigned Var = 0;
+  std::vector<SpmdBound> Lower, Upper;
+  AffineExpr Value; ///< SetVar; with Den for floor: Value = floor(Num/Den)
+  IntT ValueDen = 1;
+
+  // If.
+  std::vector<Constraint> Conds;
+
+  // Compute.
+  unsigned StmtId = 0;
+  std::vector<AffineExpr> IterExprs;
+
+  // Send / Recv.
+  std::vector<AffineExpr> Peer; ///< grid coordinate of the peer
+  unsigned CommId = 0;          ///< communication-set identifier (tag)
+  bool IsMulticast = false;     ///< send once, delivered to all receivers
+
+  // PackElem / UnpackElem.
+  unsigned ArrayId = 0;
+  std::vector<AffineExpr> Indices;
+};
+
+/// A complete generated SPMD program.
+struct SpmdProgram {
+  /// Space of every variable used by bounds/exprs: processor-identity
+  /// variables myp*, scanned loop/processor/element variables, parameters,
+  /// auxiliary variables.
+  Space Sp;
+  /// Indices of the executing processor's grid coordinates (myp*).
+  std::vector<unsigned> MyProcVars;
+  unsigned GridDims = 1;
+  /// Number of virtual processors along each grid dimension is not fixed
+  /// here; the simulator supplies the physical grid and the fold factor.
+  std::vector<SpmdStmt> Top;
+
+  /// Communication-set tags used by Send/Recv, for reporting.
+  unsigned NumCommIds = 0;
+
+  std::string str() const;
+};
+
+} // namespace dmcc
+
+#endif // DMCC_CODEGEN_SPMDAST_H

@@ -1,0 +1,96 @@
+//===- core/Compiler.h - The dmcc compiler driver --------------*- C++ -*-===//
+//
+// Part of dmcc, a reproduction of Amarasinghe & Lam, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end compiler of the paper: given a program, a computation
+/// decomposition per statement, and initial/final data decompositions per
+/// array, produce the optimized SPMD program:
+///
+///   1. exact data-flow analysis (Last Write Trees) per read access;
+///   2. communication sets per LWT context (Theorems 3/4), plus
+///      finalization sets (Section 4.4.3);
+///   3. communication optimization: self-reuse redundancy elimination
+///      (6.1.1), already-owned elimination (6.1.3), multicast detection
+///      (6.2.1), and message aggregation with a safe level choice (6.2);
+///   4. SPMD code generation by polyhedron scanning, merged along the
+///      source loop tree with sends placed right after producers and
+///      receives right before consumers (Section 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMCC_CORE_COMPILER_H
+#define DMCC_CORE_COMPILER_H
+
+#include "codegen/CodeGen.h"
+#include "comm/CommSet.h"
+#include "decomp/Decomposition.h"
+#include "ir/Program.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dmcc {
+
+/// Compiler options; each optimization can be toggled for ablations.
+struct CompilerOptions {
+  unsigned GridDims = 1;
+  bool EliminateSelfReuse = true;
+  /// Section 6.1.2: drop transfers whose value another read of the same
+  /// statement already brought in within the same batch.
+  bool EliminateGroupReuse = true;
+  bool DetectMulticast = true;
+  /// Prefer the coarse (dependence-level - 1) aggregation when legal;
+  /// otherwise messages batch per dependence-level iteration.
+  bool AggressiveAggregation = true;
+  /// Emit finalization communication into the final data layout.
+  bool Finalize = true;
+  /// Section 5.4: statically split merged loops at guard breakpoints so
+  /// iteration ranges run guard-free.
+  bool SplitLoops = true;
+};
+
+/// Everything the compiler derived, for reporting and benchmarks.
+struct CompileStats {
+  unsigned NumLWTContexts = 0;
+  unsigned NumCommSets = 0;
+  unsigned NumCommSetsAfterSelfReuse = 0;
+  unsigned NumMulticastSets = 0;
+  unsigned NumFinalizationSets = 0;
+  unsigned LoopsSplit = 0;
+  unsigned GuardsEliminated = 0;
+  bool AllExact = true;
+  double CompileSeconds = 0;
+};
+
+/// The compilation result.
+struct CompiledProgram {
+  SpmdProgram Spmd;
+  std::vector<CommPlan> Comms; ///< indexed by CommId
+  CompileStats Stats;
+  std::string Diagnostics; ///< human-readable notes (fallbacks etc.)
+};
+
+/// The compiler input: which processor runs what, where data starts and
+/// where it must end up.
+struct CompileSpec {
+  std::vector<StmtPlan> Stmts;            ///< one per statement
+  /// Initial layout per array id (required for arrays whose values are
+  /// read before being written).
+  std::map<unsigned, Decomposition> InitialData;
+  /// Final layout per array id (optional; enables finalization).
+  std::map<unsigned, Decomposition> FinalData;
+};
+
+/// Runs the full pipeline. Fatal error on malformed specs; analysis
+/// fallbacks are recorded in Diagnostics.
+CompiledProgram compile(const Program &P, const CompileSpec &Spec,
+                        const CompilerOptions &Opts = CompilerOptions());
+
+} // namespace dmcc
+
+#endif // DMCC_CORE_COMPILER_H

@@ -1,0 +1,336 @@
+//===- core/SpecParser.cpp ------------------------------------*- C++ -*-===//
+
+#include "core/SpecParser.h"
+
+#include "frontend/Parser.h"
+
+#include <cctype>
+#include <sstream>
+
+using namespace dmcc;
+
+namespace {
+
+/// Tiny tokenizer for directive lines: words, integers, punctuation.
+struct DirectiveLexer {
+  std::string Text;
+  size_t Pos = 0;
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    skipSpace();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  std::string word() {
+    skipSpace();
+    size_t S = Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '_'))
+      ++Pos;
+    return Text.substr(S, Pos - S);
+  }
+
+  std::optional<IntT> integer() {
+    skipSpace();
+    size_t S = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Pos == S)
+      return std::nullopt;
+    return std::stoll(Text.substr(S, Pos - S));
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Text.size() || Text[Pos] == '#';
+  }
+};
+
+/// A parsed mapping clause: block(d, b), cyclic(d), replicated, owner(X).
+struct MappingClause {
+  enum class Kind { Block, Cyclic, Replicated, Owner } K = Kind::Block;
+  IntT Dim = 0;
+  IntT BlockSize = 1;
+  IntT OverlapLo = 0, OverlapHi = 0;
+  std::string OwnerArray;
+};
+
+bool parseMapping(DirectiveLexer &L, MappingClause &M, std::string &Err) {
+  std::string W = L.word();
+  if (W == "replicated") {
+    M.K = MappingClause::Kind::Replicated;
+  } else if (W == "owner") {
+    M.K = MappingClause::Kind::Owner;
+    if (!L.eat('(')) {
+      Err = "expected '(' after owner";
+      return false;
+    }
+    M.OwnerArray = L.word();
+    if (M.OwnerArray.empty() || !L.eat(')')) {
+      Err = "expected owner(ARRAY)";
+      return false;
+    }
+  } else if (W == "cyclic" || W == "block") {
+    M.K = W == "cyclic" ? MappingClause::Kind::Cyclic
+                        : MappingClause::Kind::Block;
+    if (!L.eat('(')) {
+      Err = "expected '(' after " + W;
+      return false;
+    }
+    auto D = L.integer();
+    if (!D) {
+      Err = "expected dimension in " + W + "(...)";
+      return false;
+    }
+    M.Dim = *D;
+    if (M.K == MappingClause::Kind::Block) {
+      if (!L.eat(',')) {
+        Err = "expected block(dim, size)";
+        return false;
+      }
+      auto B = L.integer();
+      if (!B || *B < 1) {
+        Err = "expected positive block size";
+        return false;
+      }
+      M.BlockSize = *B;
+    }
+    if (!L.eat(')')) {
+      Err = "expected ')'";
+      return false;
+    }
+  } else {
+    Err = "unknown mapping '" + W + "'";
+    return false;
+  }
+  // Optional overlap(lo, hi).
+  DirectiveLexer Save = L;
+  std::string Next = L.word();
+  if (Next == "overlap") {
+    if (!L.eat('(')) {
+      Err = "expected overlap(lo, hi)";
+      return false;
+    }
+    auto Lo = L.integer();
+    if (!Lo || !L.eat(',')) {
+      Err = "expected overlap(lo, hi)";
+      return false;
+    }
+    auto Hi = L.integer();
+    if (!Hi || !L.eat(')')) {
+      Err = "expected overlap(lo, hi)";
+      return false;
+    }
+    M.OverlapLo = *Lo;
+    M.OverlapHi = *Hi;
+  } else {
+    L = Save;
+  }
+  return true;
+}
+
+Decomposition dataDecompOf(const Program &P, unsigned ArrayId,
+                           const MappingClause &M) {
+  switch (M.K) {
+  case MappingClause::Kind::Replicated:
+    return replicatedData(P, ArrayId);
+  case MappingClause::Kind::Cyclic:
+    return cyclicData(P, ArrayId, static_cast<unsigned>(M.Dim));
+  case MappingClause::Kind::Block:
+    return blockData(P, ArrayId, static_cast<unsigned>(M.Dim),
+                     M.BlockSize, M.OverlapLo, M.OverlapHi);
+  case MappingClause::Kind::Owner:
+    break;
+  }
+  fatalError("owner() is not a data mapping");
+}
+
+} // namespace
+
+SpecParseOutput dmcc::parseWithSpec(const std::string &Source) {
+  SpecParseOutput Out;
+
+  // Separate directive lines from program source.
+  std::vector<std::pair<unsigned, std::string>> Directives;
+  std::string ProgSource;
+  std::istringstream In(Source);
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    size_t First = Line.find_first_not_of(" \t");
+    std::string Trim =
+        First == std::string::npos ? std::string() : Line.substr(First);
+    if (Trim.rfind("decompose ", 0) == 0 || Trim.rfind("compute ", 0) == 0 ||
+        Trim.rfind("final ", 0) == 0) {
+      // Strip the trailing ';' if present.
+      size_t Semi = Trim.find(';');
+      if (Semi != std::string::npos)
+        Trim = Trim.substr(0, Semi);
+      Directives.emplace_back(LineNo, Trim);
+      ProgSource += "\n";
+    } else {
+      ProgSource += Line + "\n";
+    }
+  }
+
+  ParseOutput PO = parseProgram(ProgSource);
+  if (!PO.ok()) {
+    Out.Error = PO.Error;
+    return Out;
+  }
+  Program &P = *PO.Prog;
+  Out.ParamDefaults = std::move(PO.ParamDefaults);
+
+  std::map<unsigned, MappingClause> ComputeClauses;
+  for (auto &[No, D] : Directives) {
+    DirectiveLexer L{D, 0};
+    std::string Kw = L.word();
+    auto fail = [&](const std::string &Msg) {
+      Out.Error = "line " + std::to_string(No) + ": " + Msg;
+    };
+    if (Kw == "decompose" || Kw == "final") {
+      std::string Arr = L.word();
+      int AId = P.arrayIdOf(Arr);
+      if (AId < 0) {
+        fail("unknown array '" + Arr + "'");
+        return Out;
+      }
+      MappingClause M;
+      std::string Err;
+      if (!parseMapping(L, M, Err)) {
+        fail(Err);
+        return Out;
+      }
+      if (M.K == MappingClause::Kind::Owner) {
+        fail("owner() applies to compute directives only");
+        return Out;
+      }
+      if (M.Dim < 0 ||
+          static_cast<size_t>(M.Dim) >=
+              P.array(static_cast<unsigned>(AId)).DimSizes.size()) {
+        fail("array dimension out of range");
+        return Out;
+      }
+      Decomposition DD = dataDecompOf(P, static_cast<unsigned>(AId), M);
+      if (Kw == "decompose")
+        Out.Spec.InitialData.insert_or_assign(static_cast<unsigned>(AId),
+                                              std::move(DD));
+      else
+        Out.Spec.FinalData.insert_or_assign(static_cast<unsigned>(AId),
+                                            std::move(DD));
+    } else if (Kw == "compute") {
+      std::string SName = L.word();
+      if (SName.size() < 2 || SName[0] != 'S') {
+        fail("expected statement name S<k>");
+        return Out;
+      }
+      unsigned SId = 0;
+      for (char C : SName.substr(1)) {
+        if (!std::isdigit(static_cast<unsigned char>(C))) {
+          fail("expected statement name S<k>");
+          return Out;
+        }
+        SId = SId * 10 + static_cast<unsigned>(C - '0');
+      }
+      if (SId >= P.numStatements()) {
+        fail("statement " + SName + " out of range");
+        return Out;
+      }
+      MappingClause M;
+      std::string Err;
+      if (!parseMapping(L, M, Err)) {
+        fail(Err);
+        return Out;
+      }
+      if (M.OverlapLo || M.OverlapHi) {
+        fail("computation decompositions cannot overlap");
+        return Out;
+      }
+      ComputeClauses[SId] = M;
+    }
+    if (!L.atEnd()) {
+      fail("trailing characters in directive");
+      return Out;
+    }
+  }
+
+  // Resolve computation decompositions; default to owner-computes on the
+  // written array.
+  for (unsigned S = 0; S != P.numStatements(); ++S) {
+    auto It = ComputeClauses.find(S);
+    MappingClause M;
+    if (It == ComputeClauses.end()) {
+      M.K = MappingClause::Kind::Owner;
+      M.OwnerArray = P.array(P.statement(S).Write.ArrayId).Name;
+    } else {
+      M = It->second;
+    }
+    if (M.K == MappingClause::Kind::Owner) {
+      int AId = P.arrayIdOf(M.OwnerArray);
+      if (AId < 0) {
+        Out.Error = "compute S" + std::to_string(S) + ": unknown array '" +
+                    M.OwnerArray + "'";
+        return Out;
+      }
+      auto DIt = Out.Spec.InitialData.find(static_cast<unsigned>(AId));
+      if (DIt == Out.Spec.InitialData.end()) {
+        Out.Error = "compute S" + std::to_string(S) + ": owner(" +
+                    M.OwnerArray + ") needs a decompose directive";
+        return Out;
+      }
+      if (P.statement(S).Write.ArrayId != static_cast<unsigned>(AId)) {
+        Out.Error = "compute S" + std::to_string(S) +
+                    ": owner() must name the written array";
+        return Out;
+      }
+      if (!DIt->second.isUnique()) {
+        Out.Error = "compute S" + std::to_string(S) +
+                    ": owner-computes requires the written data not be "
+                    "replicated (Section 2.2.1); give an explicit "
+                    "compute directive";
+        return Out;
+      }
+      Out.Spec.Stmts.push_back(
+          StmtPlan{S, ownerComputes(P, S, DIt->second)});
+    } else if (M.K == MappingClause::Kind::Replicated) {
+      Out.Error = "compute S" + std::to_string(S) +
+                  ": computation cannot be replicated";
+      return Out;
+    } else {
+      unsigned Depth = P.statement(S).depth();
+      if (M.Dim < 0 || static_cast<unsigned>(M.Dim) >= Depth) {
+        Out.Error = "compute S" + std::to_string(S) +
+                    ": loop position out of range";
+        return Out;
+      }
+      Out.Spec.Stmts.push_back(StmtPlan{
+          S, blockComputation(P, S, static_cast<unsigned>(M.Dim),
+                              M.K == MappingClause::Kind::Cyclic
+                                  ? 1
+                                  : M.BlockSize)});
+    }
+  }
+
+  // Default final layouts to the initial ones.
+  for (const auto &[AId, D] : Out.Spec.InitialData)
+    if (!Out.Spec.FinalData.count(AId))
+      Out.Spec.FinalData.emplace(AId, D);
+
+  Out.Prog = std::move(P);
+  return Out;
+}

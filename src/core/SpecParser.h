@@ -1,0 +1,55 @@
+//===- core/SpecParser.h - Decomposition directive parsing -----*- C++ -*-===//
+//
+// Part of dmcc, a reproduction of Amarasinghe & Lam, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the decomposition directives that accompany a mini-language
+/// program, in the spirit of HPF/FORTRAN-D annotations (Section 1):
+///
+///   decompose X cyclic(0);                 -- array X, dim 0 cyclic
+///   decompose X block(0, 32);              -- blocks of 32 along dim 0
+///   decompose X block(0, 8) overlap(1, 1); -- replicated borders
+///   decompose X replicated;
+///   final X block(0, 32);                  -- final layout (optional;
+///                                             defaults to the initial)
+///   compute S0 owner(X);                   -- owner-computes (Theorem 1)
+///   compute S1 block(1, 32);               -- loop position 1 in blocks
+///   compute S1 cyclic(0);                  -- loop position 0 cyclic
+///
+/// Statements are numbered S0, S1, ... in textual order. Directives may
+/// be interleaved with the program source; parseWithSpec() separates
+/// them, parses both, and returns a ready CompileSpec.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMCC_CORE_SPECPARSER_H
+#define DMCC_CORE_SPECPARSER_H
+
+#include "core/Compiler.h"
+#include "ir/Program.h"
+
+#include <optional>
+#include <string>
+
+namespace dmcc {
+
+/// Result of parsing an annotated source file.
+struct SpecParseOutput {
+  std::optional<Program> Prog;
+  CompileSpec Spec;
+  std::map<std::string, IntT> ParamDefaults;
+  std::string Error; ///< empty on success
+
+  bool ok() const { return Prog.has_value(); }
+};
+
+/// Parses mini-language source with embedded decomposition directives.
+/// Statements without an explicit `compute` directive default to
+/// owner-computes on the decomposition of the array they write.
+SpecParseOutput parseWithSpec(const std::string &Source);
+
+} // namespace dmcc
+
+#endif // DMCC_CORE_SPECPARSER_H

@@ -1,0 +1,110 @@
+//===- dataflow/LastWriteTree.h - Exact array data flow --------*- C++ -*-===//
+//
+// Part of dmcc, a reproduction of Amarasinghe & Lam, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Last Write Trees (Section 3.1): for every dynamic instance of a read
+/// access, the exact write instance that produced the value read. The
+/// "tree" is materialized as a list of disjoint leaf contexts partitioning
+/// the read iteration domain (the paper's Definition 4); each context
+/// either names the producing statement with an affine map from read to
+/// write instance and a dependence level, or is a bottom context whose
+/// values come from outside the analyzed region.
+///
+/// Construction processes dependence levels from the deepest (latest
+/// possible writer) outwards: at each level, each candidate write
+/// statement contributes the parametric lexicographic maximum of its
+/// matching write instances; candidates at the same level are merged by
+/// explicit case splits on which instance executes later; reads already
+/// claimed by a deeper level are subtracted out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMCC_DATAFLOW_LASTWRITETREE_H
+#define DMCC_DATAFLOW_LASTWRITETREE_H
+
+#include "ir/Program.h"
+#include "math/Region.h"
+
+#include <string>
+#include <vector>
+
+namespace dmcc {
+
+/// Dependence level of a context. 0 denotes a bottom context (the value is
+/// not produced inside the region); k in [1, c] means the last write is
+/// carried by loop k (1-based, outermost first); c+1 denotes a
+/// loop-independent producer, where c is the number of loops shared by
+/// writer and reader.
+using DepLevel = unsigned;
+constexpr DepLevel BottomLevel = 0;
+
+/// One leaf of a Last Write Tree.
+struct LWTContext {
+  /// The set of read instances of this context: a system over the read
+  /// anchor variables (the reader's loop indices, or the array index
+  /// variables in array mode), the program parameters, and any auxiliary
+  /// existential variables.
+  System Domain;
+  bool HasWriter = false;
+  unsigned WriteStmtId = 0;
+  /// The write instance (writer's loop indices, outermost first) as
+  /// affine expressions over Domain's space. Empty when !HasWriter.
+  std::vector<AffineExpr> WriteInstance;
+  DepLevel Level = BottomLevel;
+};
+
+/// The full analysis result for one read access.
+struct LastWriteTree {
+  unsigned ReadStmtId = 0;
+  unsigned ReadIdx = 0;
+  /// Anchor space: the reader's loop variables plus parameters.
+  Space AnchorSpace;
+  std::vector<LWTContext> Contexts;
+  /// False if some set operation was integer-inexact; clients must fall
+  /// back to conservative (location-centric) handling then.
+  bool Exact = true;
+
+  /// Contexts that actually have a writer.
+  unsigned numWriterContexts() const;
+
+  /// Result of evaluating the tree at one concrete read instance.
+  struct Lookup {
+    bool Covered = false;   ///< some context contains the point
+    bool HasWriter = false; ///< that context names a producer
+    unsigned WriteStmtId = 0;
+    std::vector<IntT> WriteIter;
+  };
+
+  /// Evaluates the tree at a concrete anchor point (values for
+  /// AnchorSpace's variables, in order); auxiliary witnesses are searched.
+  Lookup lookup(const std::vector<IntT> &AnchorVals) const;
+
+  std::string str(const Program &P) const;
+};
+
+/// Builds the Last Write Tree for Reads[ReadIdx] of statement ReadStmt.
+LastWriteTree buildLWT(const Program &P, unsigned ReadStmt,
+                       unsigned ReadIdx);
+
+/// Generalized entry point: the read is described by an explicit domain
+/// (over anchor variables + params) and subscript expressions; \p Reader,
+/// when non-null, supplies the execution-order constraints (the anchor
+/// variables must then start with the reader's loop variables). With a
+/// null reader no precedence constraint is imposed: the result is the last
+/// write of each array element over the whole region (used for
+/// finalization, Section 4.4.3).
+LastWriteTree buildLWTCore(const Program &P, const System &ReadDomain,
+                           unsigned ArrayId,
+                           const std::vector<AffineExpr> &ReadIndices,
+                           const Statement *Reader);
+
+/// Last writes of whole array elements (finalization): anchor variables
+/// are fresh array-index variables a0..am-1.
+LastWriteTree buildArrayLastWrites(const Program &P, unsigned ArrayId);
+
+} // namespace dmcc
+
+#endif // DMCC_DATAFLOW_LASTWRITETREE_H

@@ -1,0 +1,196 @@
+//===- frontend/Lexer.cpp -------------------------------------*- C++ -*-===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace dmcc;
+
+const char *dmcc::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::Integer:
+    return "integer";
+  case TokKind::Float:
+    return "float";
+  case TokKind::KwParam:
+    return "'param'";
+  case TokKind::KwArray:
+    return "'array'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwTo:
+    return "'to'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwMin:
+    return "'min'";
+  case TokKind::KwMax:
+    return "'max'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Error:
+    return "lexical error";
+  }
+  return "?";
+}
+
+std::vector<Token> dmcc::tokenize(const std::string &Source) {
+  std::vector<Token> Toks;
+  unsigned Line = 1;
+  size_t I = 0, E = Source.size();
+  auto push = [&](TokKind K, std::string Text) {
+    Token T;
+    T.Kind = K;
+    T.Text = std::move(Text);
+    T.Line = Line;
+    Toks.push_back(std::move(T));
+  };
+  while (I < E) {
+    char C = Source[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    if (C == '#' || (C == '/' && I + 1 < E && Source[I + 1] == '/')) {
+      while (I < E && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' ||
+        C == '@') {
+      size_t S = I;
+      while (I < E && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_' || Source[I] == '@' ||
+                       Source[I] == '.'))
+        ++I;
+      std::string Word = Source.substr(S, I - S);
+      TokKind K = TokKind::Ident;
+      if (Word == "param")
+        K = TokKind::KwParam;
+      else if (Word == "array")
+        K = TokKind::KwArray;
+      else if (Word == "for")
+        K = TokKind::KwFor;
+      else if (Word == "to")
+        K = TokKind::KwTo;
+      else if (Word == "if")
+        K = TokKind::KwIf;
+      else if (Word == "min")
+        K = TokKind::KwMin;
+      else if (Word == "max")
+        K = TokKind::KwMax;
+      push(K, std::move(Word));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t S = I;
+      bool IsFloat = false;
+      while (I < E && std::isdigit(static_cast<unsigned char>(Source[I])))
+        ++I;
+      if (I < E && Source[I] == '.' && I + 1 < E &&
+          std::isdigit(static_cast<unsigned char>(Source[I + 1]))) {
+        IsFloat = true;
+        ++I;
+        while (I < E && std::isdigit(static_cast<unsigned char>(Source[I])))
+          ++I;
+      }
+      std::string Num = Source.substr(S, I - S);
+      Token T;
+      T.Line = Line;
+      T.Text = Num;
+      if (IsFloat) {
+        T.Kind = TokKind::Float;
+        T.FloatVal = std::strtod(Num.c_str(), nullptr);
+      } else {
+        T.Kind = TokKind::Integer;
+        T.IntVal = std::strtoll(Num.c_str(), nullptr, 10);
+      }
+      Toks.push_back(std::move(T));
+      continue;
+    }
+    TokKind K;
+    switch (C) {
+    case '{':
+      K = TokKind::LBrace;
+      break;
+    case '}':
+      K = TokKind::RBrace;
+      break;
+    case '[':
+      K = TokKind::LBracket;
+      break;
+    case ']':
+      K = TokKind::RBracket;
+      break;
+    case '(':
+      K = TokKind::LParen;
+      break;
+    case ')':
+      K = TokKind::RParen;
+      break;
+    case ',':
+      K = TokKind::Comma;
+      break;
+    case ';':
+      K = TokKind::Semi;
+      break;
+    case '=':
+      K = TokKind::Assign;
+      break;
+    case '+':
+      K = TokKind::Plus;
+      break;
+    case '-':
+      K = TokKind::Minus;
+      break;
+    case '*':
+      K = TokKind::Star;
+      break;
+    case '/':
+      K = TokKind::Slash;
+      break;
+    default:
+      push(TokKind::Error, std::string("unexpected character '") + C + "'");
+      push(TokKind::Eof, "");
+      return Toks;
+    }
+    push(K, std::string(1, C));
+    ++I;
+  }
+  push(TokKind::Eof, "");
+  return Toks;
+}

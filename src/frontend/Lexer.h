@@ -1,0 +1,70 @@
+//===- frontend/Lexer.h - Mini-language lexer ------------------*- C++ -*-===//
+//
+// Part of dmcc, a reproduction of Amarasinghe & Lam, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the affine mini-language that stands in for the paper's
+/// FORTRAN-77 front end. Comments run from '#' or '//' to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMCC_FRONTEND_LEXER_H
+#define DMCC_FRONTEND_LEXER_H
+
+#include "support/IntOps.h"
+
+#include <string>
+#include <vector>
+
+namespace dmcc {
+
+/// Token kinds of the mini-language.
+enum class TokKind {
+  Eof,
+  Ident,
+  Integer,
+  Float,
+  KwParam,
+  KwArray,
+  KwFor,
+  KwTo,
+  KwIf,
+  KwMin,
+  KwMax,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  LParen,
+  RParen,
+  Comma,
+  Semi,
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Error,
+};
+
+/// One token with its source location (1-based line).
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  IntT IntVal = 0;
+  double FloatVal = 0;
+  unsigned Line = 0;
+};
+
+/// Returns a human-readable name for \p K ("identifier", "'{'", ...).
+const char *tokKindName(TokKind K);
+
+/// Tokenizes \p Source. On a lexical error the last token has kind Error
+/// and Text holds a message; an Eof token always terminates the stream.
+std::vector<Token> tokenize(const std::string &Source);
+
+} // namespace dmcc
+
+#endif // DMCC_FRONTEND_LEXER_H

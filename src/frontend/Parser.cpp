@@ -1,0 +1,530 @@
+//===- frontend/Parser.cpp ------------------------------------*- C++ -*-===//
+
+#include "frontend/Parser.h"
+
+#include "frontend/Lexer.h"
+
+using namespace dmcc;
+
+namespace {
+
+/// Recursive-descent parser; see the header for the grammar.
+class Parser {
+public:
+  explicit Parser(const std::string &Source) : Toks(tokenize(Source)) {}
+
+  ParseOutput run() {
+    ParseOutput Out;
+    if (!parseProgram()) {
+      Out.Error = Err.empty() ? "parse error" : Err;
+      Out.ErrorLine = ErrLine;
+      return Out;
+    }
+    Out.Prog = std::move(P);
+    Out.ParamDefaults = std::move(Defaults);
+    return Out;
+  }
+
+private:
+  const Token &cur() const { return Toks[Pos]; }
+  const Token &next() { return Toks[Pos++]; }
+  bool is(TokKind K) const { return cur().Kind == K; }
+
+  bool fail(const std::string &Msg) {
+    if (Err.empty()) {
+      Err = "line " + std::to_string(cur().Line) + ": " + Msg;
+      ErrLine = cur().Line;
+    }
+    return false;
+  }
+
+  bool expect(TokKind K) {
+    if (!is(K))
+      return fail(std::string("expected ") + tokKindName(K) + ", found " +
+                  tokKindName(cur().Kind));
+    ++Pos;
+    return true;
+  }
+
+  /// Resolves a source-level identifier to a space variable index.
+  int resolveVar(const std::string &Name) const {
+    for (auto It = Scope.rbegin(); It != Scope.rend(); ++It)
+      if (It->first == Name)
+        return static_cast<int>(It->second);
+    int I = P.space().indexOf(Name);
+    if (I >= 0 && P.space().kind(static_cast<unsigned>(I)) == VarKind::Param)
+      return I;
+    return -1;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Affine expressions
+  //===--------------------------------------------------------------===//
+
+  bool parseAFactor(AffineExpr &E) {
+    unsigned N = P.space().size();
+    if (is(TokKind::Minus)) {
+      ++Pos;
+      if (!parseAFactor(E))
+        return false;
+      E = E.negated();
+      return true;
+    }
+    if (is(TokKind::Integer)) {
+      E = AffineExpr::constant(N, next().IntVal);
+      return true;
+    }
+    if (is(TokKind::Ident)) {
+      int V = resolveVar(cur().Text);
+      if (V < 0)
+        return fail("unknown name '" + cur().Text +
+                    "' in affine expression");
+      ++Pos;
+      E = AffineExpr::var(N, static_cast<unsigned>(V));
+      return true;
+    }
+    if (is(TokKind::LParen)) {
+      ++Pos;
+      if (!parseAExpr(E))
+        return false;
+      return expect(TokKind::RParen);
+    }
+    return fail("expected an affine term");
+  }
+
+  bool parseATerm(AffineExpr &E) {
+    if (!parseAFactor(E))
+      return false;
+    while (is(TokKind::Star)) {
+      ++Pos;
+      AffineExpr F(P.space().size());
+      if (!parseAFactor(F))
+        return false;
+      if (E.isConstant())
+        F.scale(E.constant()), E = F;
+      else if (F.isConstant())
+        E.scale(F.constant());
+      else
+        return fail("non-linear product in affine expression");
+    }
+    return true;
+  }
+
+  bool parseAExpr(AffineExpr &E) {
+    if (!parseATerm(E))
+      return false;
+    while (is(TokKind::Plus) || is(TokKind::Minus)) {
+      bool Neg = next().Kind == TokKind::Minus;
+      AffineExpr T(P.space().size());
+      if (!parseATerm(T))
+        return false;
+      if (Neg)
+        E -= T;
+      else
+        E += T;
+    }
+    return true;
+  }
+
+  /// Parses "aexpr" or "min(...)"/"max(...)" bound lists.
+  bool parseBoundList(std::vector<AffineExpr> &Out, bool IsLower) {
+    TokKind Kw = IsLower ? TokKind::KwMax : TokKind::KwMin;
+    if (is(Kw)) {
+      ++Pos;
+      if (!expect(TokKind::LParen))
+        return false;
+      do {
+        AffineExpr E(P.space().size());
+        if (!parseAExpr(E))
+          return false;
+        Out.push_back(std::move(E));
+      } while (is(TokKind::Comma) && (++Pos, true));
+      return expect(TokKind::RParen);
+    }
+    AffineExpr E(P.space().size());
+    if (!parseAExpr(E))
+      return false;
+    Out.push_back(std::move(E));
+    return true;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Right-hand sides
+  //===--------------------------------------------------------------===//
+
+  int addRVal(Statement &S, RVal R) {
+    S.RPool.push_back(std::move(R));
+    return static_cast<int>(S.RPool.size() - 1);
+  }
+
+  int parseRFactor(Statement &S) {
+    if (is(TokKind::Minus)) {
+      ++Pos;
+      int Sub = parseRFactor(S);
+      if (Sub < 0)
+        return -1;
+      RVal Zero;
+      Zero.K = RVal::Kind::ConstF;
+      Zero.Const = 0;
+      int Z = addRVal(S, std::move(Zero));
+      RVal R;
+      R.K = RVal::Kind::Sub;
+      R.Lhs = Z;
+      R.Rhs = Sub;
+      return addRVal(S, std::move(R));
+    }
+    if (is(TokKind::Integer) || is(TokKind::Float)) {
+      RVal R;
+      R.K = RVal::Kind::ConstF;
+      R.Const = is(TokKind::Integer)
+                    ? static_cast<double>(cur().IntVal)
+                    : cur().FloatVal;
+      ++Pos;
+      return addRVal(S, std::move(R));
+    }
+    if (is(TokKind::LParen)) {
+      ++Pos;
+      int E = parseRExpr(S);
+      if (E < 0)
+        return -1;
+      if (!expect(TokKind::RParen))
+        return -1;
+      return E;
+    }
+    if (is(TokKind::Ident)) {
+      std::string Name = next().Text;
+      if (is(TokKind::LBracket)) {
+        int AId = P.arrayIdOf(Name);
+        if (AId < 0) {
+          fail("unknown array '" + Name + "'");
+          return -1;
+        }
+        Access A;
+        A.ArrayId = static_cast<unsigned>(AId);
+        while (is(TokKind::LBracket)) {
+          ++Pos;
+          AffineExpr E(P.space().size());
+          if (!parseAExpr(E))
+            return -1;
+          if (!expect(TokKind::RBracket))
+            return -1;
+          A.Indices.push_back(std::move(E));
+        }
+        if (A.Indices.size() != P.array(A.ArrayId).DimSizes.size()) {
+          fail("wrong number of subscripts for array '" + Name + "'");
+          return -1;
+        }
+        S.Reads.push_back(std::move(A));
+        RVal R;
+        R.K = RVal::Kind::ReadRef;
+        R.ReadIdx = S.Reads.size() - 1;
+        return addRVal(S, std::move(R));
+      }
+      int V = resolveVar(Name);
+      if (V < 0) {
+        fail("unknown name '" + Name + "'");
+        return -1;
+      }
+      RVal R;
+      R.K = RVal::Kind::AffineVal;
+      R.Aff = AffineExpr::var(P.space().size(), static_cast<unsigned>(V));
+      return addRVal(S, std::move(R));
+    }
+    fail("expected a value expression");
+    return -1;
+  }
+
+  int parseRTerm(Statement &S) {
+    int L = parseRFactor(S);
+    if (L < 0)
+      return -1;
+    while (is(TokKind::Star) || is(TokKind::Slash)) {
+      bool IsDiv = next().Kind == TokKind::Slash;
+      int R = parseRFactor(S);
+      if (R < 0)
+        return -1;
+      RVal N;
+      N.K = IsDiv ? RVal::Kind::Div : RVal::Kind::Mul;
+      N.Lhs = L;
+      N.Rhs = R;
+      L = addRVal(S, std::move(N));
+    }
+    return L;
+  }
+
+  int parseRExpr(Statement &S) {
+    int L = parseRTerm(S);
+    if (L < 0)
+      return -1;
+    while (is(TokKind::Plus) || is(TokKind::Minus)) {
+      bool IsSub = next().Kind == TokKind::Minus;
+      int R = parseRTerm(S);
+      if (R < 0)
+        return -1;
+      RVal N;
+      N.K = IsSub ? RVal::Kind::Sub : RVal::Kind::Add;
+      N.Lhs = L;
+      N.Rhs = R;
+      L = addRVal(S, std::move(N));
+    }
+    return L;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Declarations and statements
+  //===--------------------------------------------------------------===//
+
+  bool parseParamDecl() {
+    ++Pos; // 'param'
+    if (!is(TokKind::Ident))
+      return fail("expected parameter name");
+    std::string Name = next().Text;
+    if (P.space().contains(Name))
+      return fail("redeclaration of '" + Name + "'");
+    P.addParam(Name);
+    if (is(TokKind::Assign)) {
+      ++Pos;
+      bool Neg = false;
+      if (is(TokKind::Minus)) {
+        Neg = true;
+        ++Pos;
+      }
+      if (!is(TokKind::Integer))
+        return fail("expected integer default value");
+      IntT V = next().IntVal;
+      Defaults[Name] = Neg ? -V : V;
+    }
+    return expect(TokKind::Semi);
+  }
+
+  bool parseArrayDecl() {
+    ++Pos; // 'array'
+    if (!is(TokKind::Ident))
+      return fail("expected array name");
+    std::string Name = next().Text;
+    if (P.arrayIdOf(Name) >= 0)
+      return fail("redeclaration of array '" + Name + "'");
+    std::vector<AffineExpr> Dims;
+    if (!is(TokKind::LBracket))
+      return fail("array declaration needs at least one dimension");
+    while (is(TokKind::LBracket)) {
+      ++Pos;
+      AffineExpr E(P.space().size());
+      if (!parseAExpr(E))
+        return false;
+      if (!expect(TokKind::RBracket))
+        return false;
+      Dims.push_back(std::move(E));
+    }
+    P.addArray(Name, std::move(Dims));
+    return expect(TokKind::Semi);
+  }
+
+  bool parseLoop(int Parent) {
+    ++Pos; // 'for'
+    if (!is(TokKind::Ident))
+      return fail("expected loop index name");
+    std::string SrcName = next().Text;
+    std::string SpaceName = P.space().freshName(SrcName);
+    unsigned LoopId = P.addLoop(SpaceName, Parent);
+    unsigned VarIdx = P.loop(LoopId).VarIndex;
+    if (!expect(TokKind::Assign))
+      return false;
+    std::vector<AffineExpr> Lower, Upper;
+    if (!parseBoundList(Lower, /*IsLower=*/true))
+      return false;
+    if (!expect(TokKind::KwTo))
+      return false;
+    if (!parseBoundList(Upper, /*IsLower=*/false))
+      return false;
+    for (const AffineExpr &B : Lower)
+      if (B.involves(VarIdx))
+        return fail("loop bound references its own index");
+    for (const AffineExpr &B : Upper)
+      if (B.involves(VarIdx))
+        return fail("loop bound references its own index");
+    P.loop(LoopId).Lower = std::move(Lower);
+    P.loop(LoopId).Upper = std::move(Upper);
+    if (!expect(TokKind::LBrace))
+      return false;
+    Scope.emplace_back(SrcName, VarIdx);
+    while (!is(TokKind::RBrace) && !is(TokKind::Eof))
+      if (!parseStmt(static_cast<int>(LoopId)))
+        return false;
+    Scope.pop_back();
+    return expect(TokKind::RBrace);
+  }
+
+  bool parseAssign(int Parent) {
+    if (!is(TokKind::Ident))
+      return fail("expected an assignment or loop");
+    std::string Name = next().Text;
+    int AId = P.arrayIdOf(Name);
+    if (AId < 0)
+      return fail("unknown array '" + Name + "'");
+    Access W;
+    W.ArrayId = static_cast<unsigned>(AId);
+    while (is(TokKind::LBracket)) {
+      ++Pos;
+      AffineExpr E(P.space().size());
+      if (!parseAExpr(E))
+        return false;
+      if (!expect(TokKind::RBracket))
+        return false;
+      W.Indices.push_back(std::move(E));
+    }
+    if (W.Indices.size() != P.array(W.ArrayId).DimSizes.size())
+      return fail("wrong number of subscripts for array '" + Name + "'");
+    if (!expect(TokKind::Assign))
+      return false;
+    unsigned SId = P.addStatement(Parent);
+    Statement &S = P.statement(SId);
+    S.Write = std::move(W);
+    int Root = parseRExpr(S);
+    if (Root < 0)
+      return false;
+    P.statement(SId).RRoot = Root;
+    return expect(TokKind::Semi);
+  }
+
+  /// Clones the expression subtree rooted at \p Node of \p Src into
+  /// \p Dst, appending the read accesses it references.
+  int cloneRVal(const Statement &Src, int Node, Statement &Dst,
+                std::vector<int> &ReadMap) {
+    if (Node < 0)
+      return -1;
+    RVal R = Src.RPool[Node];
+    if (R.K == RVal::Kind::ReadRef) {
+      if (ReadMap[R.ReadIdx] < 0) {
+        Dst.Reads.push_back(Src.Reads[R.ReadIdx]);
+        ReadMap[R.ReadIdx] = static_cast<int>(Dst.Reads.size() - 1);
+      }
+      R.ReadIdx = static_cast<unsigned>(ReadMap[R.ReadIdx]);
+    }
+    R.Lhs = cloneRVal(Src, R.Lhs, Dst, ReadMap);
+    R.Rhs = cloneRVal(Src, R.Rhs, Dst, ReadMap);
+    R.Cond = cloneRVal(Src, R.Cond, Dst, ReadMap);
+    return addRVal(Dst, std::move(R));
+  }
+
+  /// if (cond) { assignments }: each guarded assignment is if-converted
+  /// (Section 4.1) into an unconditional one assigning either the new
+  /// value or the variable's current value.
+  bool parseIf(int Parent) {
+    ++Pos; // 'if'
+    if (!expect(TokKind::LParen))
+      return false;
+    Statement CondTmp;
+    int CondRoot = parseRExpr(CondTmp);
+    if (CondRoot < 0)
+      return false;
+    if (!expect(TokKind::RParen) || !expect(TokKind::LBrace))
+      return false;
+    while (!is(TokKind::RBrace) && !is(TokKind::Eof)) {
+      if (is(TokKind::KwFor) || is(TokKind::KwIf))
+        return fail("only assignments are allowed inside 'if' "
+                    "(conditionals must not contain loops)");
+      if (!is(TokKind::Ident))
+        return fail("expected an assignment inside 'if'");
+      std::string Name = next().Text;
+      int AId = P.arrayIdOf(Name);
+      if (AId < 0)
+        return fail("unknown array '" + Name + "'");
+      Access W;
+      W.ArrayId = static_cast<unsigned>(AId);
+      while (is(TokKind::LBracket)) {
+        ++Pos;
+        AffineExpr E(P.space().size());
+        if (!parseAExpr(E))
+          return false;
+        if (!expect(TokKind::RBracket))
+          return false;
+        W.Indices.push_back(std::move(E));
+      }
+      if (W.Indices.size() != P.array(W.ArrayId).DimSizes.size())
+        return fail("wrong number of subscripts for array '" + Name + "'");
+      if (!expect(TokKind::Assign))
+        return false;
+      unsigned SId = P.addStatement(Parent);
+      {
+        Statement &S = P.statement(SId);
+        S.Write = std::move(W);
+        std::vector<int> ReadMap(CondTmp.Reads.size(), -1);
+        int CondIdx = cloneRVal(CondTmp, CondRoot, S, ReadMap);
+        int ThenIdx = parseRExpr(S);
+        if (ThenIdx < 0)
+          return false;
+        // The "else" value is the location's current content: an
+        // explicit self read, so the data-flow analysis sees it.
+        S.Reads.push_back(S.Write);
+        RVal SelfR;
+        SelfR.K = RVal::Kind::ReadRef;
+        SelfR.ReadIdx = S.Reads.size() - 1;
+        int ElseIdx = addRVal(S, std::move(SelfR));
+        RVal Sel;
+        Sel.K = RVal::Kind::Select;
+        Sel.Cond = CondIdx;
+        Sel.Lhs = ThenIdx;
+        Sel.Rhs = ElseIdx;
+        S.RRoot = addRVal(S, std::move(Sel));
+      }
+      if (!expect(TokKind::Semi))
+        return false;
+    }
+    return expect(TokKind::RBrace);
+  }
+
+  bool parseStmt(int Parent) {
+    if (is(TokKind::KwFor))
+      return parseLoop(Parent);
+    if (is(TokKind::KwIf))
+      return parseIf(Parent);
+    return parseAssign(Parent);
+  }
+
+  bool parseProgram() {
+    if (is(TokKind::Error))
+      return fail(cur().Text);
+    while (is(TokKind::KwParam) || is(TokKind::KwArray)) {
+      if (is(TokKind::Error))
+        return fail(cur().Text);
+      if (is(TokKind::KwParam)) {
+        if (!parseParamDecl())
+          return false;
+      } else if (!parseArrayDecl()) {
+        return false;
+      }
+    }
+    while (!is(TokKind::Eof)) {
+      if (is(TokKind::Error))
+        return fail(cur().Text);
+      if (!parseStmt(-1))
+        return false;
+    }
+    return true;
+  }
+
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  Program P;
+  std::vector<std::pair<std::string, unsigned>> Scope;
+  std::map<std::string, IntT> Defaults;
+  std::string Err;
+  unsigned ErrLine = 0;
+};
+
+} // namespace
+
+ParseOutput dmcc::parseProgram(const std::string &Source) {
+  Parser Ps(Source);
+  return Ps.run();
+}
+
+Program dmcc::parseProgramOrDie(const std::string &Source) {
+  ParseOutput Out = parseProgram(Source);
+  if (!Out.ok()) {
+    std::string Msg = "parse failed: " + Out.Error;
+    fatalError(Msg.c_str());
+  }
+  return std::move(*Out.Prog);
+}

@@ -1,0 +1,61 @@
+//===- frontend/Parser.h - Mini-language parser ----------------*- C++ -*-===//
+//
+// Part of dmcc, a reproduction of Amarasinghe & Lam, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser lowering the affine mini-language to the IR.
+///
+/// Grammar:
+///   program   := (paramdecl | arraydecl)* stmt*
+///   paramdecl := "param" ID ("=" INT)? ";"
+///   arraydecl := "array" ID ("[" aexpr "]")+ ";"
+///   stmt      := loop | ifstmt | assign
+///   ifstmt    := "if" "(" rexpr ")" "{" assign* "}"
+///                (if-converted per Section 4.1: each guarded assignment
+///                 becomes unconditional, selecting between the new value
+///                 and the location's current value)
+///   loop      := "for" ID "=" lbound "to" ubound "{" stmt* "}"
+///   lbound    := aexpr | "max" "(" aexpr ("," aexpr)* ")"
+///   ubound    := aexpr | "min" "(" aexpr ("," aexpr)* ")"
+///   assign    := ID ("[" aexpr "]")+ "=" rexpr ";"
+///   aexpr     := affine expression over loop indices and parameters
+///   rexpr     := arithmetic over array reads, numbers, and loop indices
+///
+/// Loop index names are uniquified automatically when reused by sibling
+/// nests, so the IR space stays well-formed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMCC_FRONTEND_PARSER_H
+#define DMCC_FRONTEND_PARSER_H
+
+#include "ir/Program.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace dmcc {
+
+/// Result of parsing: a Program on success, a diagnostic otherwise.
+struct ParseOutput {
+  std::optional<Program> Prog;
+  std::string Error; ///< empty iff Prog is set
+  unsigned ErrorLine = 0;
+  /// Values supplied via "param N = 123;" defaults, for tools.
+  std::map<std::string, IntT> ParamDefaults;
+
+  bool ok() const { return Prog.has_value(); }
+};
+
+/// Parses mini-language source text into a Program.
+ParseOutput parseProgram(const std::string &Source);
+
+/// Convenience for tests and examples: parses and aborts on error.
+Program parseProgramOrDie(const std::string &Source);
+
+} // namespace dmcc
+
+#endif // DMCC_FRONTEND_PARSER_H

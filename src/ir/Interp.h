@@ -1,0 +1,94 @@
+//===- ir/Interp.h - Sequential reference interpreter ----------*- C++ -*-===//
+//
+// Part of dmcc, a reproduction of Amarasinghe & Lam, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a Program sequentially with concrete parameter values. This is
+/// the golden model: the SPMD code produced by the code generator must
+/// compute bitwise-identical arrays, and the instrumentation hooks record
+/// the actual last-write instance of every read so Last Write Trees can be
+/// property-tested against reality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMCC_IR_INTERP_H
+#define DMCC_IR_INTERP_H
+
+#include "ir/Program.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dmcc {
+
+/// Identifies one dynamic write instance.
+struct WriteInstance {
+  unsigned StmtId = 0;
+  std::vector<IntT> Iter; ///< values of the statement's loop indices
+  bool operator==(const WriteInstance &O) const = default;
+};
+
+/// Deterministic initial value of array \p ArrayId at flat offset
+/// \p Flat; used for data that the program reads but never wrote.
+double initialArrayValue(unsigned ArrayId, IntT Flat);
+
+/// Sequential executor with last-writer instrumentation.
+class SeqInterpreter {
+public:
+  /// Called for every dynamic read: statement, read slot, the reading
+  /// iteration, and the instance that last wrote the value (nullptr if the
+  /// value is the initial array content).
+  using ReadCallback = std::function<void(
+      unsigned StmtId, unsigned ReadIdx, const std::vector<IntT> &Iter,
+      const WriteInstance *Writer)>;
+
+  SeqInterpreter(const Program &P,
+                 const std::map<std::string, IntT> &ParamValues);
+
+  void setReadCallback(ReadCallback CB) { OnRead = std::move(CB); }
+
+  /// Runs the whole program.
+  void run();
+
+  /// Flat row-major size of array \p Id under the bound parameters.
+  IntT arraySize(unsigned Id) const;
+
+  /// Value of array \p Id at the (bounds-checked) indices.
+  double arrayValue(unsigned Id, const std::vector<IntT> &Idx) const;
+
+  /// The full contents of array \p Id (initials filled in).
+  std::vector<double> arrayContents(unsigned Id) const;
+
+  /// Who last wrote the given element, if anyone.
+  const WriteInstance *lastWriter(unsigned Id,
+                                  const std::vector<IntT> &Idx) const;
+
+  /// Total number of dynamic statement executions.
+  uint64_t executedStatements() const { return ExecCount; }
+
+private:
+  void execNodes(const std::vector<Node> &Nodes);
+  void execLoop(const Loop &L);
+  void execStatement(const Statement &S);
+  double evalRVal(const Statement &S, int NodeId);
+  IntT flatIndex(const Access &A, bool &InBounds) const;
+  IntT evalExpr(const AffineExpr &E) const;
+
+  const Program &P;
+  std::vector<IntT> Env;        ///< value per program-space variable
+  std::vector<std::vector<double>> Arrays;
+  std::vector<std::vector<int>> WriterOf; ///< index into WriteLog, or -1
+  std::vector<WriteInstance> WriteLog;
+  std::vector<IntT> DimProd;    ///< per-array flat sizes
+  ReadCallback OnRead;
+  uint64_t ExecCount = 0;
+};
+
+} // namespace dmcc
+
+#endif // DMCC_IR_INTERP_H

@@ -1,0 +1,222 @@
+//===- ir/Program.cpp -----------------------------------------*- C++ -*-===//
+
+#include "ir/Program.h"
+
+using namespace dmcc;
+
+unsigned Program::addParam(const std::string &Name) {
+  return growSpace(Name, VarKind::Param);
+}
+
+unsigned Program::addArray(const std::string &Name,
+                           std::vector<AffineExpr> DimSizes) {
+#ifndef NDEBUG
+  for (const AffineExpr &D : DimSizes)
+    assert(D.size() == Sp.size() && "dimension size over a different space");
+#endif
+  Arrays.push_back(ArrayDecl{Name, std::move(DimSizes)});
+  return Arrays.size() - 1;
+}
+
+unsigned Program::growSpace(const std::string &Name, VarKind Kind) {
+  unsigned I = Sp.add(Name, Kind);
+  for (ArrayDecl &A : Arrays)
+    for (AffineExpr &D : A.DimSizes)
+      D.appendVar();
+  for (Loop &L : Loops) {
+    for (AffineExpr &E : L.Lower)
+      E.appendVar();
+    for (AffineExpr &E : L.Upper)
+      E.appendVar();
+  }
+  for (Statement &S : Stmts) {
+    for (AffineExpr &E : S.Write.Indices)
+      E.appendVar();
+    for (Access &A : S.Reads)
+      for (AffineExpr &E : A.Indices)
+        E.appendVar();
+    for (RVal &R : S.RPool)
+      if (R.K == RVal::Kind::AffineVal)
+        R.Aff.appendVar();
+  }
+  return I;
+}
+
+void Program::appendChild(int ParentLoop, Node N) {
+  if (ParentLoop < 0) {
+    Top.push_back(N);
+    return;
+  }
+  assert(static_cast<unsigned>(ParentLoop) < Loops.size() &&
+         "parent loop out of range");
+  LoopChildren[ParentLoop].push_back(N);
+}
+
+unsigned Program::addLoop(const std::string &IndexName, int ParentLoop) {
+  unsigned VarIdx = growSpace(IndexName, VarKind::Loop);
+  Loop L;
+  L.Id = Loops.size();
+  L.VarIndex = VarIdx;
+  L.ParentLoop = ParentLoop;
+  appendChild(ParentLoop, Node{Node::Kind::Loop, L.Id});
+  Loops.push_back(std::move(L));
+  LoopChildren.emplace_back();
+  return Loops.size() - 1;
+}
+
+unsigned Program::addStatement(int ParentLoop) {
+  Statement S;
+  S.Id = Stmts.size();
+  // Enclosing loops, outermost first.
+  std::vector<unsigned> Rev;
+  for (int L = ParentLoop; L >= 0; L = Loops[L].ParentLoop)
+    Rev.push_back(static_cast<unsigned>(L));
+  S.Loops.assign(Rev.rbegin(), Rev.rend());
+  // Textual path: child index at each tree level down to this statement.
+  std::vector<unsigned> Path;
+  for (unsigned L : S.Loops) {
+    const std::vector<Node> &Siblings =
+        Loops[L].ParentLoop < 0 ? Top : LoopChildren[Loops[L].ParentLoop];
+    for (unsigned C = 0, E = Siblings.size(); C != E; ++C)
+      if (Siblings[C].K == Node::Kind::Loop && Siblings[C].Index == L) {
+        Path.push_back(C);
+        break;
+      }
+  }
+  Path.push_back(ParentLoop < 0 ? Top.size() : LoopChildren[ParentLoop].size());
+  S.Path = std::move(Path);
+  appendChild(ParentLoop, Node{Node::Kind::Stmt, S.Id});
+  Stmts.push_back(std::move(S));
+  return Stmts.size() - 1;
+}
+
+int Program::arrayIdOf(const std::string &Name) const {
+  for (unsigned I = 0, E = Arrays.size(); I != E; ++I)
+    if (Arrays[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+System Program::domainOf(unsigned StmtId) const {
+  const Statement &S = Stmts[StmtId];
+  Space DSp;
+  for (unsigned L : S.Loops)
+    DSp.add(Sp.name(Loops[L].VarIndex), VarKind::Loop);
+  for (unsigned I = 0, E = Sp.size(); I != E; ++I)
+    if (Sp.kind(I) == VarKind::Param)
+      DSp.add(Sp.name(I), VarKind::Param);
+  System D(std::move(DSp));
+  for (unsigned L : S.Loops) {
+    unsigned VI = static_cast<unsigned>(
+        D.space().indexOf(Sp.name(Loops[L].VarIndex)));
+    for (const AffineExpr &Lo : Loops[L].Lower)
+      D.addGE(D.varExpr(VI) - mapExpr(Lo, Sp, D.space()));
+    for (const AffineExpr &Hi : Loops[L].Upper)
+      D.addGE(mapExpr(Hi, Sp, D.space()) - D.varExpr(VI));
+  }
+  return D;
+}
+
+unsigned Program::commonLoopDepth(unsigned A, unsigned B) const {
+  const Statement &SA = Stmts[A], &SB = Stmts[B];
+  unsigned D = 0;
+  while (D < SA.Loops.size() && D < SB.Loops.size() &&
+         SA.Loops[D] == SB.Loops[D])
+    ++D;
+  return D;
+}
+
+bool Program::precedesTextually(unsigned A, unsigned B) const {
+  assert(A != B && "textual order of a statement with itself");
+  return Stmts[A].Path < Stmts[B].Path;
+}
+
+std::string dmcc::accessStr(const Program &P, const Access &A) {
+  std::string S = P.array(A.ArrayId).Name;
+  for (const AffineExpr &I : A.Indices)
+    S += "[" + I.str(P.space()) + "]";
+  return S;
+}
+
+std::string dmcc::rvalStr(const Program &P, const Statement &S, int NodeId) {
+  if (NodeId < 0)
+    return "?";
+  const RVal &R = S.RPool[NodeId];
+  switch (R.K) {
+  case RVal::Kind::ReadRef:
+    return accessStr(P, S.Reads[R.ReadIdx]);
+  case RVal::Kind::ConstF: {
+    std::string V = std::to_string(R.Const);
+    // Trim trailing zeros for readability.
+    while (V.size() > 1 && V.back() == '0')
+      V.pop_back();
+    if (!V.empty() && V.back() == '.')
+      V.pop_back();
+    return V;
+  }
+  case RVal::Kind::AffineVal:
+    return "(" + R.Aff.str(P.space()) + ")";
+  case RVal::Kind::Add:
+    return "(" + rvalStr(P, S, R.Lhs) + " + " + rvalStr(P, S, R.Rhs) + ")";
+  case RVal::Kind::Sub:
+    return "(" + rvalStr(P, S, R.Lhs) + " - " + rvalStr(P, S, R.Rhs) + ")";
+  case RVal::Kind::Mul:
+    return "(" + rvalStr(P, S, R.Lhs) + " * " + rvalStr(P, S, R.Rhs) + ")";
+  case RVal::Kind::Div:
+    return "(" + rvalStr(P, S, R.Lhs) + " / " + rvalStr(P, S, R.Rhs) + ")";
+  case RVal::Kind::Select:
+    return "(" + rvalStr(P, S, R.Cond) + " >= 0 ? " +
+           rvalStr(P, S, R.Lhs) + " : " + rvalStr(P, S, R.Rhs) + ")";
+  }
+  return "?";
+}
+
+void Program::printNode(const Node &N, unsigned Indent,
+                        std::string &Out) const {
+  std::string Pad(Indent * 2, ' ');
+  if (N.K == Node::Kind::Loop) {
+    const Loop &L = Loops[N.Index];
+    Out += Pad + "for " + Sp.name(L.VarIndex) + " = ";
+    if (L.Lower.size() == 1) {
+      Out += L.Lower[0].str(Sp);
+    } else {
+      Out += "max(";
+      for (unsigned I = 0; I != L.Lower.size(); ++I)
+        Out += (I ? ", " : "") + L.Lower[I].str(Sp);
+      Out += ")";
+    }
+    Out += " to ";
+    if (L.Upper.size() == 1) {
+      Out += L.Upper[0].str(Sp);
+    } else {
+      Out += "min(";
+      for (unsigned I = 0; I != L.Upper.size(); ++I)
+        Out += (I ? ", " : "") + L.Upper[I].str(Sp);
+      Out += ")";
+    }
+    Out += " {\n";
+    for (const Node &C : LoopChildren[N.Index])
+      printNode(C, Indent + 1, Out);
+    Out += Pad + "}\n";
+    return;
+  }
+  const Statement &S = Stmts[N.Index];
+  Out += Pad + accessStr(*this, S.Write) + " = " +
+         rvalStr(*this, S, S.RRoot) + ";\n";
+}
+
+std::string Program::str() const {
+  std::string Out;
+  for (unsigned I = 0, E = Sp.size(); I != E; ++I)
+    if (Sp.kind(I) == VarKind::Param)
+      Out += "param " + Sp.name(I) + ";\n";
+  for (const ArrayDecl &A : Arrays) {
+    Out += "array " + A.Name;
+    for (const AffineExpr &D : A.DimSizes)
+      Out += "[" + D.str(Sp) + "]";
+    Out += ";\n";
+  }
+  for (const Node &N : Top)
+    printNode(N, 0, Out);
+  return Out;
+}

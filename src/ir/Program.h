@@ -1,0 +1,174 @@
+//===- ir/Program.h - Affine loop-nest intermediate form -------*- C++ -*-===//
+//
+// Part of dmcc, a reproduction of Amarasinghe & Lam, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The input domain of the paper (Section 4.1): programs made of
+/// (imperfectly) nested loops whose bounds and array subscripts are affine
+/// functions of outer loop indices and symbolic constants. A Program owns
+/// a single variable space covering every loop index and parameter; all
+/// affine expressions in the IR are relative to that space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMCC_IR_PROGRAM_H
+#define DMCC_IR_PROGRAM_H
+
+#include "math/System.h"
+
+#include <string>
+#include <vector>
+
+namespace dmcc {
+
+/// An array declaration; dimension sizes are affine in the parameters.
+/// The index set of dimension k is 0 .. DimSizes[k]-1.
+struct ArrayDecl {
+  std::string Name;
+  std::vector<AffineExpr> DimSizes; ///< over the program space
+};
+
+/// One subscripted reference A[f1(i)]...[fm(i)].
+struct Access {
+  unsigned ArrayId = 0;
+  std::vector<AffineExpr> Indices; ///< over the program space
+};
+
+/// A node of a statement's right-hand-side expression tree (stored in a
+/// pool inside the Statement so statements stay copyable).
+struct RVal {
+  enum class Kind {
+    ReadRef,   ///< value of Reads[ReadIdx]
+    ConstF,    ///< floating constant
+    AffineVal, ///< the value of an affine expression of loop indices
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Select,    ///< Cond >= 0 ? Lhs : Rhs (if-conversion, Section 4.1)
+  };
+  Kind K = Kind::ConstF;
+  double Const = 0;
+  unsigned ReadIdx = 0;
+  AffineExpr Aff;
+  int Lhs = -1, Rhs = -1; ///< pool indices for binary nodes
+  int Cond = -1;          ///< pool index of a Select's condition
+};
+
+/// A single assignment statement.
+struct Statement {
+  unsigned Id = 0;
+  std::vector<unsigned> Loops; ///< enclosing loop ids, outermost first
+  std::vector<unsigned> Path;  ///< child indices from the root (textual
+                               ///< position; shares prefixes with
+                               ///< statements in the same subtree)
+  Access Write;
+  std::vector<Access> Reads;
+  std::vector<RVal> RPool;
+  int RRoot = -1;
+
+  unsigned depth() const { return Loops.size(); }
+};
+
+/// A loop with affine bounds:  max(Lower) <= index <= min(Upper).
+struct Loop {
+  unsigned Id = 0;
+  unsigned VarIndex = 0; ///< index of the loop variable in the space
+  std::vector<AffineExpr> Lower, Upper; ///< over the program space
+  int ParentLoop = -1;
+};
+
+/// A child of a loop body (or of the program top level).
+struct Node {
+  enum class Kind { Loop, Stmt };
+  Kind K = Kind::Stmt;
+  unsigned Index = 0;
+};
+
+/// A whole analyzable code region.
+class Program {
+public:
+  Program() = default;
+
+  const Space &space() const { return Sp; }
+
+  /// Declares a symbolic constant; returns its space index.
+  unsigned addParam(const std::string &Name);
+
+  /// Declares an array; returns its id.
+  unsigned addArray(const std::string &Name,
+                    std::vector<AffineExpr> DimSizes);
+
+  /// Creates a loop nested in \p ParentLoop (-1 for top level); the loop
+  /// variable is added to the space. Bounds may be filled in afterwards
+  /// (they may reference the new variable's siblings/outer loops only).
+  unsigned addLoop(const std::string &IndexName, int ParentLoop);
+
+  /// Creates a statement under \p ParentLoop (-1 for top level).
+  unsigned addStatement(int ParentLoop);
+
+  Loop &loop(unsigned Id) { return Loops[Id]; }
+  const Loop &loop(unsigned Id) const { return Loops[Id]; }
+  Statement &statement(unsigned Id) { return Stmts[Id]; }
+  const Statement &statement(unsigned Id) const { return Stmts[Id]; }
+  const ArrayDecl &array(unsigned Id) const { return Arrays[Id]; }
+
+  unsigned numLoops() const { return Loops.size(); }
+  unsigned numStatements() const { return Stmts.size(); }
+  unsigned numArrays() const { return Arrays.size(); }
+  int arrayIdOf(const std::string &Name) const;
+
+  const std::vector<Node> &topLevel() const { return Top; }
+  const std::vector<Node> &childrenOf(unsigned LoopId) const {
+    return LoopChildren[LoopId];
+  }
+
+  /// Grows every expression in the program when the space is extended.
+  /// (Used internally; exposed for builders.)
+  unsigned growSpace(const std::string &Name, VarKind Kind);
+
+  /// The iteration domain of \p StmtId: a system over the statement's own
+  /// loop variables (outermost first) followed by all parameters.
+  System domainOf(unsigned StmtId) const;
+
+  /// Number of loops shared by the two statements (common nest prefix).
+  unsigned commonLoopDepth(unsigned A, unsigned B) const;
+
+  /// True if statement \p A comes before statement \p B in textual order
+  /// within the same iteration of their common loops.
+  bool precedesTextually(unsigned A, unsigned B) const;
+
+  /// Maps an expression over the program space into \p Target (matching
+  /// variables by name, optionally transformed by \p MapName).
+  AffineExpr exprTo(const AffineExpr &E, const Space &Target,
+                    const std::function<std::string(const std::string &)>
+                        &MapName = nullptr) const {
+    return mapExpr(E, Sp, Target, MapName);
+  }
+
+  /// Pretty-prints the whole program in the mini-language syntax.
+  std::string str() const;
+
+private:
+  void appendChild(int ParentLoop, Node N);
+  void printNode(const Node &N, unsigned Indent, std::string &Out) const;
+
+  Space Sp;
+  std::vector<ArrayDecl> Arrays;
+  std::vector<Loop> Loops;
+  std::vector<Statement> Stmts;
+  std::vector<Node> Top;
+  std::vector<std::vector<Node>> LoopChildren;
+};
+
+/// Renders an access like "X[i][j - 1]".
+std::string accessStr(const Program &P, const Access &A);
+
+/// Renders a statement's right-hand side.
+std::string rvalStr(const Program &P, const Statement &S, int Node);
+
+} // namespace dmcc
+
+#endif // DMCC_IR_PROGRAM_H

@@ -1,0 +1,135 @@
+//===- math/Affine.cpp ----------------------------------------*- C++ -*-===//
+
+#include "math/Affine.h"
+
+using namespace dmcc;
+
+AffineExpr &AffineExpr::operator+=(const AffineExpr &O) {
+  assert(O.size() == size() && "adding expressions over different spaces");
+  for (unsigned I = 0, E = Coeffs.size(); I != E; ++I)
+    Coeffs[I] = addChk(Coeffs[I], O.Coeffs[I]);
+  Cst = addChk(Cst, O.Cst);
+  return *this;
+}
+
+AffineExpr &AffineExpr::operator-=(const AffineExpr &O) {
+  assert(O.size() == size() && "subtracting expressions over different spaces");
+  for (unsigned I = 0, E = Coeffs.size(); I != E; ++I)
+    Coeffs[I] = subChk(Coeffs[I], O.Coeffs[I]);
+  Cst = subChk(Cst, O.Cst);
+  return *this;
+}
+
+AffineExpr &AffineExpr::scale(IntT F) {
+  for (IntT &C : Coeffs)
+    C = mulChk(C, F);
+  Cst = mulChk(Cst, F);
+  return *this;
+}
+
+AffineExpr AffineExpr::negated() const {
+  AffineExpr R = *this;
+  R.scale(-1);
+  return R;
+}
+
+AffineExpr AffineExpr::plusConst(IntT C) const {
+  AffineExpr R = *this;
+  R.Cst = addChk(R.Cst, C);
+  return R;
+}
+
+bool AffineExpr::isConstant() const {
+  for (IntT C : Coeffs)
+    if (C != 0)
+      return false;
+  return true;
+}
+
+bool AffineExpr::firstVar(unsigned &Idx) const {
+  for (unsigned I = 0, E = Coeffs.size(); I != E; ++I)
+    if (Coeffs[I] != 0) {
+      Idx = I;
+      return true;
+    }
+  return false;
+}
+
+void AffineExpr::substitute(unsigned I, const AffineExpr &Repl) {
+  assert(Repl.size() == size() && "substitution over a different space");
+  assert(!Repl.involves(I) && "substitution must not involve the variable");
+  IntT C = coeff(I);
+  if (C == 0)
+    return;
+  Coeffs[I] = 0;
+  for (unsigned J = 0, E = Coeffs.size(); J != E; ++J)
+    Coeffs[J] = addChk(Coeffs[J], mulChk(C, Repl.Coeffs[J]));
+  Cst = addChk(Cst, mulChk(C, Repl.Cst));
+}
+
+void AffineExpr::removeVar(unsigned I) {
+  assert(I < Coeffs.size() && "variable index out of range");
+  assert(Coeffs[I] == 0 && "removing a variable still in use");
+  Coeffs.erase(Coeffs.begin() + I);
+}
+
+IntT AffineExpr::coeffGcd() const {
+  IntT G = 0;
+  for (IntT C : Coeffs)
+    G = gcdInt(G, C);
+  return G;
+}
+
+void AffineExpr::divExact(IntT D) {
+  assert(D != 0 && "division by zero");
+  for (IntT &C : Coeffs) {
+    assert(C % D == 0 && "inexact coefficient division");
+    C /= D;
+  }
+  assert(Cst % D == 0 && "inexact constant division");
+  Cst /= D;
+}
+
+IntT AffineExpr::evaluate(const std::vector<IntT> &Vals) const {
+  assert(Vals.size() >= Coeffs.size() && "too few values for evaluation");
+  IntT R = Cst;
+  for (unsigned I = 0, E = Coeffs.size(); I != E; ++I)
+    if (Coeffs[I] != 0)
+      R = addChk(R, mulChk(Coeffs[I], Vals[I]));
+  return R;
+}
+
+std::string AffineExpr::str(const Space &Sp) const {
+  assert(Sp.size() == size() && "space does not match expression");
+  std::string S;
+  bool First = true;
+  auto appendTerm = [&](IntT C, const std::string &Name) {
+    if (C == 0)
+      return;
+    if (First) {
+      if (C < 0)
+        S += "-";
+      First = false;
+    } else {
+      S += C < 0 ? " - " : " + ";
+    }
+    IntT A = C < 0 ? -C : C;
+    if (A != 1 || Name.empty()) {
+      S += std::to_string(A);
+      if (!Name.empty())
+        S += "*";
+    }
+    S += Name;
+  };
+  for (unsigned I = 0, E = Coeffs.size(); I != E; ++I)
+    appendTerm(Coeffs[I], Sp.name(I));
+  if (Cst != 0 || First)
+    appendTerm(Cst == 0 ? IntT(0) : Cst, "");
+  if (First)
+    S = "0";
+  return S;
+}
+
+std::string Constraint::str(const Space &Sp) const {
+  return Expr.str(Sp) + (Rel == RelKind::EQ ? " == 0" : " >= 0");
+}

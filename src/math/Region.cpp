@@ -1,0 +1,196 @@
+//===- math/Region.cpp ----------------------------------------*- C++ -*-===//
+
+#include "math/Region.h"
+
+using namespace dmcc;
+
+System dmcc::eliminateAuxVars(const System &S, bool *Exact) {
+  System R = S;
+  R.normalize();
+  for (unsigned I = R.space().size(); I-- > 0;) {
+    if (R.space().kind(I) != VarKind::Aux)
+      continue;
+    if (R.involves(I))
+      R = R.fmEliminated(I, Exact);
+    R.removeVar(I);
+  }
+  return R;
+}
+
+Region Region::fromSystem(const System &S) {
+  Space Base;
+  for (unsigned I = 0, E = S.space().size(); I != E; ++I)
+    if (S.space().kind(I) != VarKind::Aux)
+      Base.add(S.space().name(I), S.space().kind(I));
+  Region R(std::move(Base));
+  R.addPiece(S);
+  return R;
+}
+
+void Region::addPiece(const System &S) {
+#ifndef NDEBUG
+  for (unsigned I = 0, E = Base.size(); I != E; ++I)
+    assert(S.space().contains(Base.name(I)) &&
+           "piece is missing a base-space variable");
+  for (unsigned I = 0, E = S.space().size(); I != E; ++I)
+    assert((S.space().kind(I) == VarKind::Aux ||
+            Base.contains(S.space().name(I))) &&
+           "piece has a non-aux variable outside the base space");
+#endif
+  Pieces.push_back(S);
+}
+
+void Region::intersectWith(const System &S) {
+  for (System &P : Pieces)
+    P.addAllMapped(S);
+}
+
+std::vector<System> Region::subtractSystem(const System &P, const System &S,
+                                           bool *ExactOut) const {
+  // Existential witnesses in S must be eliminated before negating: a point
+  // is outside S iff no witness exists, which projection expresses.
+  bool ElimExact = true;
+  System SB = eliminateAuxVars(S, &ElimExact);
+  if (!ElimExact)
+    *ExactOut = false;
+
+  // P \ SB = union over j of  P /\ c_0 /\ ... /\ c_{j-1} /\ not(c_j).
+  std::vector<System> Out;
+  System Prefix = P;
+  for (const Constraint &C : SB.constraints()) {
+    AffineExpr E = mapExpr(C.Expr, SB.space(), P.space());
+    if (C.isEquality()) {
+      System Lt = Prefix;
+      Lt.addGE(E.negated().plusConst(-1)); // E <= -1
+      Out.push_back(std::move(Lt));
+      System Gt = Prefix;
+      Gt.addGE(E.plusConst(-1)); // E >= 1
+      Out.push_back(std::move(Gt));
+      Prefix.addEQ(E);
+    } else {
+      System Neg = Prefix;
+      Neg.addGE(E.negated().plusConst(-1)); // E <= -1
+      Out.push_back(std::move(Neg));
+      Prefix.addGE(E);
+    }
+  }
+  return Out;
+}
+
+Region Region::subtract(const Region &Other) const {
+  Region R(Base);
+  R.Exact = Exact && Other.Exact;
+  R.Pieces = Pieces;
+  for (const System &S : Other.Pieces) {
+    std::vector<System> Next;
+    for (const System &P : R.Pieces)
+      for (System &D : subtractSystem(P, S, &R.Exact))
+        Next.push_back(std::move(D));
+    R.Pieces = std::move(Next);
+    R.pruneEmpty();
+  }
+  return R;
+}
+
+void Region::pruneEmpty(unsigned NodeBudget) {
+  std::vector<System> Kept;
+  for (System &P : Pieces)
+    if (P.checkIntegerFeasible(NodeBudget) != Feasibility::Empty)
+      Kept.push_back(std::move(P));
+  Pieces = std::move(Kept);
+}
+
+bool Region::isIntegerEmpty(unsigned NodeBudget) const {
+  for (const System &P : Pieces)
+    if (P.checkIntegerFeasible(NodeBudget) != Feasibility::Empty)
+      return false;
+  return true;
+}
+
+bool Region::containsPoint(const std::vector<IntT> &Vals) const {
+  assert(Vals.size() == Base.size() && "point over a different space");
+  for (const System &P : Pieces) {
+    // Pin the base variables to the point and search for aux witnesses.
+    System Pinned = P;
+    bool BadMapping = false;
+    for (unsigned I = 0, E = Base.size(); I != E; ++I) {
+      int J = Pinned.space().indexOf(Base.name(I));
+      if (J < 0) {
+        BadMapping = true;
+        break;
+      }
+      AffineExpr E2 = Pinned.varExpr(static_cast<unsigned>(J));
+      Pinned.addEQ(E2.plusConst(-Vals[I]));
+    }
+    if (BadMapping)
+      continue;
+    if (Pinned.checkIntegerFeasible() == Feasibility::Feasible)
+      return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Expands equalities into inequality pairs.
+std::vector<AffineExpr> asInequalities(const System &S) {
+  std::vector<AffineExpr> Out;
+  for (const Constraint &C : S.constraints()) {
+    Out.push_back(C.Expr);
+    if (C.isEquality())
+      Out.push_back(C.Expr.negated());
+  }
+  return Out;
+}
+
+/// True if S entails E >= 0 (i.e. S and E <= -1 has no integer point).
+bool entails(const System &S, const AffineExpr &E) {
+  System Q = S;
+  Q.addGE(E.negated().plusConst(-1));
+  return Q.checkIntegerFeasible(6000) == Feasibility::Empty;
+}
+
+} // namespace
+
+std::optional<System> dmcc::coalesceSystems(const System &A,
+                                            const System &B) {
+  if (A.space() != B.space())
+    return std::nullopt;
+  System NA = A, NB = B;
+  if (!NA.normalize())
+    return B;
+  if (!NB.normalize())
+    return A;
+  // The candidate hull: every face of one system that the other also
+  // satisfies.
+  System U(A.space());
+  for (const AffineExpr &E : asInequalities(NA))
+    if (entails(NB, E))
+      U.addGE(E);
+  for (const AffineExpr &E : asInequalities(NB))
+    if (entails(NA, E))
+      U.addGE(E);
+  if (!U.normalize())
+    return std::nullopt;
+  // Exactness: the hull must not contain points outside A union B.
+  Region R = Region::fromSystem(U);
+  R = R.subtract(Region::fromSystem(NA));
+  R = R.subtract(Region::fromSystem(NB));
+  if (!R.isExact() || !R.isIntegerEmpty())
+    return std::nullopt;
+  System Out = std::move(U);
+  Out.removeRedundant(4000);
+  return Out;
+}
+
+std::string Region::str() const {
+  std::string S;
+  for (unsigned I = 0, E = Pieces.size(); I != E; ++I) {
+    S += "piece " + std::to_string(I) + " over " +
+         Pieces[I].space().str() + ":\n";
+    S += Pieces[I].str();
+  }
+  if (Pieces.empty())
+    S = "(empty region)\n";
+  return S;
+}

@@ -1,0 +1,68 @@
+//===- math/Space.cpp -----------------------------------------*- C++ -*-===//
+
+#include "math/Space.h"
+
+using namespace dmcc;
+
+const char *dmcc::varKindName(VarKind K) {
+  switch (K) {
+  case VarKind::Loop:
+    return "loop";
+  case VarKind::Param:
+    return "param";
+  case VarKind::Proc:
+    return "proc";
+  case VarKind::Data:
+    return "data";
+  case VarKind::Aux:
+    return "aux";
+  }
+  return "?";
+}
+
+unsigned Space::add(const std::string &Name, VarKind Kind) {
+  assert(indexOf(Name) < 0 && "duplicate variable name in space");
+  Vars.push_back(Var{Name, Kind});
+  return Vars.size() - 1;
+}
+
+int Space::indexOf(const std::string &Name) const {
+  for (unsigned I = 0, E = Vars.size(); I != E; ++I)
+    if (Vars[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+void Space::remove(unsigned I) {
+  assert(I < Vars.size() && "variable index out of range");
+  Vars.erase(Vars.begin() + I);
+}
+
+std::vector<unsigned> Space::indicesOfKind(VarKind K) const {
+  std::vector<unsigned> Result;
+  for (unsigned I = 0, E = Vars.size(); I != E; ++I)
+    if (Vars[I].Kind == K)
+      Result.push_back(I);
+  return Result;
+}
+
+std::string Space::freshName(const std::string &Prefix) const {
+  if (!contains(Prefix))
+    return Prefix;
+  for (unsigned N = 0;; ++N) {
+    std::string Candidate = Prefix + "." + std::to_string(N);
+    if (!contains(Candidate))
+      return Candidate;
+  }
+}
+
+std::string Space::str() const {
+  std::string S = "[";
+  for (unsigned I = 0, E = Vars.size(); I != E; ++I) {
+    if (I)
+      S += ", ";
+    S += Vars[I].Name;
+  }
+  S += "]";
+  return S;
+}

@@ -1,0 +1,95 @@
+//===- math/Space.h - Named variable spaces --------------------*- C++ -*-===//
+//
+// Part of dmcc, a reproduction of Amarasinghe & Lam, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Space is an ordered list of named, typed variables. Every affine
+/// expression and constraint system is interpreted relative to a Space.
+/// The paper manipulates three base domains (iteration space, array space,
+/// processor space) plus symbolic constants and the auxiliary variables
+/// introduced for modulo/floor conditions (Section 4.4.2); VarKind tags
+/// record which domain each dimension belongs to.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMCC_MATH_SPACE_H
+#define DMCC_MATH_SPACE_H
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace dmcc {
+
+/// The role a variable plays. Purely informational except that Aux
+/// variables are treated as existentially quantified when regions are
+/// compared or subtracted.
+enum class VarKind {
+  Loop,  ///< a loop index (iteration-space dimension)
+  Param, ///< a symbolic constant (unchanged within the analyzed region)
+  Proc,  ///< a (virtual) processor dimension
+  Data,  ///< an array-index dimension
+  Aux,   ///< auxiliary existential variable (floor / modulo witness)
+};
+
+/// Returns a short human-readable tag for \p K ("loop", "param", ...).
+const char *varKindName(VarKind K);
+
+/// A single named variable.
+struct Var {
+  std::string Name;
+  VarKind Kind;
+
+  bool operator==(const Var &O) const = default;
+};
+
+/// An ordered list of variables; the coordinate system for AffineExpr and
+/// System. Names must be unique within a Space.
+class Space {
+public:
+  Space() = default;
+
+  unsigned size() const { return Vars.size(); }
+  bool empty() const { return Vars.empty(); }
+
+  /// Appends a variable and returns its index. Asserts the name is unique.
+  unsigned add(const std::string &Name, VarKind Kind);
+
+  /// Returns the index of \p Name, or -1 if absent.
+  int indexOf(const std::string &Name) const;
+
+  /// Returns true if a variable named \p Name exists.
+  bool contains(const std::string &Name) const { return indexOf(Name) >= 0; }
+
+  const Var &var(unsigned I) const {
+    assert(I < Vars.size() && "variable index out of range");
+    return Vars[I];
+  }
+
+  const std::string &name(unsigned I) const { return var(I).Name; }
+  VarKind kind(unsigned I) const { return var(I).Kind; }
+
+  /// Removes the variable at index \p I (shifting later indices down).
+  void remove(unsigned I);
+
+  /// Returns the indices of all variables of kind \p K, in order.
+  std::vector<unsigned> indicesOfKind(VarKind K) const;
+
+  /// Returns a fresh variable name derived from \p Prefix that does not
+  /// collide with any existing variable.
+  std::string freshName(const std::string &Prefix) const;
+
+  bool operator==(const Space &O) const = default;
+
+  /// Renders as "[i:loop, N:param, ...]".
+  std::string str() const;
+
+private:
+  std::vector<Var> Vars;
+};
+
+} // namespace dmcc
+
+#endif // DMCC_MATH_SPACE_H

@@ -1,0 +1,745 @@
+//===- sim/Simulator.cpp --------------------------------------*- C++ -*-===//
+
+#include "sim/Simulator.h"
+
+#include "ir/Interp.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace dmcc;
+
+namespace {
+
+/// Checked parameter lookup: a missing binding is a usage error, not UB.
+dmcc::IntT paramValue(const std::map<std::string, dmcc::IntT> &Params,
+                      const std::string &Name) {
+  auto It = Params.find(Name);
+  if (It == Params.end()) {
+    std::string Msg = "Simulator: missing value for parameter '" + Name +
+                      "'";
+    dmcc::fatalError(Msg.c_str());
+  }
+  return It->second;
+}
+
+/// Number of floating-point operations in a statement's right-hand side.
+unsigned countFlops(const Statement &S) {
+  unsigned N = 0;
+  for (const RVal &R : S.RPool)
+    if (R.K == RVal::Kind::Add || R.K == RVal::Kind::Sub ||
+        R.K == RVal::Kind::Mul || R.K == RVal::Kind::Div ||
+        R.K == RVal::Kind::Select)
+      ++N;
+  return N;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Internal structures
+//===----------------------------------------------------------------------===//
+
+struct Simulator::Message {
+  std::vector<double> Data; ///< functional payload
+  uint64_t WordCount = 0;
+  double ReadyTime = 0;
+  /// Multicast content is consumed directly from the communication
+  /// buffer (Section 5.5), so the receiver pays no per-word copy.
+  bool FromMulticast = false;
+};
+
+struct Simulator::Frame {
+  const std::vector<SpmdStmt> *List = nullptr;
+  unsigned Pos = 0;
+  const SpmdStmt *LoopStmt = nullptr; ///< non-null for loop body frames
+  IntT LoopCur = 0, LoopHi = 0;
+};
+
+struct Simulator::VirtProc {
+  std::vector<IntT> Coord;
+  unsigned Phys = 0;
+  std::vector<IntT> Env;
+  std::vector<IntT> ProgEnv;
+  std::vector<Frame> Stack;
+  bool Finished = false;
+  bool Blocked = false;
+  std::map<std::pair<unsigned, IntT>, double> Store;
+  int LastMulticastComm = -1;
+  /// Physical destinations already served within the current multicast
+  /// burst (one wire message per physical processor, Section 6.1.3).
+  std::set<unsigned> BurstPhys;
+  double BurstReady = 0;
+  /// Cached packed content of the current multicast burst (the content is
+  /// receiver-independent, so it is packed once per burst).
+  int CachedPackComm = -1;
+  std::vector<double> CachedData;
+  uint64_t CachedCount = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Setup
+//===----------------------------------------------------------------------===//
+
+Simulator::~Simulator() = default;
+
+Simulator::Simulator(const Program &P, const CompiledProgram &CP,
+                     const CompileSpec &Spec, SimOptions Opts)
+    : P(P), CP(CP), Spec(Spec), Opts(std::move(Opts)) {
+  assert(this->Opts.PhysGrid.size() == CP.Spmd.GridDims &&
+         "physical grid arity mismatch");
+  computeVirtualGrid();
+
+  // Parameter values aligned to the SPMD space.
+  ParamEnv.assign(CP.Spmd.Sp.size(), 0);
+  for (unsigned I = 0, E = CP.Spmd.Sp.size(); I != E; ++I) {
+    if (CP.Spmd.Sp.kind(I) != VarKind::Param)
+      continue;
+    auto It = this->Opts.ParamValues.find(CP.Spmd.Sp.name(I));
+    if (It == this->Opts.ParamValues.end())
+      fatalError("Simulator: missing parameter value");
+    ParamEnv[I] = It->second;
+  }
+
+  // Instantiate the virtual processors.
+  unsigned Dims = CP.Spmd.GridDims;
+  std::vector<IntT> Coord = VirtLo;
+  bool Done = false;
+  while (!Done) {
+    VirtProc V;
+    V.Coord = Coord;
+    V.Phys = physOf(Coord);
+    V.Env = ParamEnv;
+    for (unsigned D = 0; D != Dims; ++D)
+      V.Env[CP.Spmd.MyProcVars[D]] = Coord[D];
+    V.ProgEnv.assign(P.space().size(), 0);
+    for (unsigned I = 0, E = P.space().size(); I != E; ++I)
+      if (P.space().kind(I) == VarKind::Param)
+        V.ProgEnv[I] = paramValue(this->Opts.ParamValues, P.space().name(I));
+    Frame F;
+    F.List = &CP.Spmd.Top;
+    V.Stack.push_back(F);
+    Procs.push_back(std::move(V));
+    // Advance the coordinate odometer.
+    for (unsigned D = Dims; D-- > 0;) {
+      if (++Coord[D] <= VirtHi[D])
+        break;
+      Coord[D] = VirtLo[D];
+      if (D == 0)
+        Done = true;
+    }
+  }
+
+  IntT PhysCount = 1;
+  for (IntT G : this->Opts.PhysGrid)
+    PhysCount = mulChk(PhysCount, G);
+  PhysClock.assign(PhysCount, 0.0);
+  PhysBusy.assign(PhysCount, 0.0);
+
+  if (this->Opts.Functional)
+    initLocalStores();
+}
+
+unsigned Simulator::physOf(const std::vector<IntT> &VirtCoord) const {
+  unsigned Phys = 0;
+  for (unsigned D = 0, E = VirtCoord.size(); D != E; ++D) {
+    IntT F = floorMod(VirtCoord[D], Opts.PhysGrid[D]);
+    Phys = static_cast<unsigned>(Phys * Opts.PhysGrid[D] + F);
+  }
+  return Phys;
+}
+
+void Simulator::computeVirtualGrid() {
+  unsigned Dims = CP.Spmd.GridDims;
+  VirtLo.assign(Dims, 0);
+  VirtHi.assign(Dims, -1);
+  bool Any = false;
+
+  auto Widen = [&](const Decomposition &D, System Dom) {
+    // Pin parameters, attach grid variables, take per-dim bounds.
+    for (unsigned I = 0; I != Dom.space().size(); ++I) {
+      if (Dom.space().kind(I) != VarKind::Param)
+        continue;
+      Dom.addEQ(Dom.varExpr(I).plusConst(
+          -paramValue(Opts.ParamValues, Dom.space().name(I))));
+    }
+    std::vector<unsigned> PVs;
+    for (unsigned Dd = 0; Dd != Dims; ++Dd)
+      PVs.push_back(Dom.addVar(Dom.space().freshName("@grid"),
+                               VarKind::Proc));
+    D.addConstraintsByName(Dom, PVs);
+    for (unsigned Dd = 0; Dd != Dims; ++Dd) {
+      if (D.dim(Dd).Replicated)
+        continue;
+      System Proj = Dom;
+      // Parameters are pinned by equalities above, so eliminating them is
+      // an exact substitution; the resulting bounds are constants.
+      for (unsigned I = 0; I != Proj.space().size(); ++I)
+        if (I != PVs[Dd] && Proj.involves(I))
+          Proj = Proj.fmEliminated(I);
+      std::vector<VarBound> Lo, Hi;
+      Proj.normalize();
+      Proj.boundsOf(PVs[Dd], Lo, Hi);
+      if (Lo.empty() || Hi.empty())
+        fatalError("Simulator: unbounded virtual processor grid");
+      IntT L = 0, H = 0;
+      bool First = true;
+      std::vector<IntT> Zero(Proj.space().size(), 0);
+      for (const VarBound &B : Lo) {
+        IntT V = ceilDiv(B.Num.evaluate(Zero), B.Den);
+        L = First ? V : std::max(L, V);
+        First = false;
+      }
+      First = true;
+      for (const VarBound &B : Hi) {
+        IntT V = floorDiv(B.Num.evaluate(Zero), B.Den);
+        H = First ? V : std::min(H, V);
+        First = false;
+      }
+      if (H < L)
+        return; // empty source: contributes nothing
+      if (!Any || L < VirtLo[Dd])
+        VirtLo[Dd] = L;
+      if (!Any || H > VirtHi[Dd])
+        VirtHi[Dd] = H;
+    }
+    Any = true;
+  };
+
+  for (const StmtPlan &SP : Spec.Stmts)
+    Widen(SP.Comp, P.domainOf(SP.StmtId));
+
+  auto ArrayDomain = [&](unsigned ArrayId) {
+    Space Sp = arraySourceSpace(P, ArrayId);
+    System Dom(Sp);
+    unsigned K = 0;
+    for (unsigned I = 0; I != Sp.size(); ++I) {
+      if (Sp.kind(I) != VarKind::Data)
+        continue;
+      Dom.addGE(Dom.varExpr(I));
+      Dom.addGE(mapExpr(P.array(ArrayId).DimSizes[K], P.space(), Sp)
+                    .plusConst(-1) -
+                Dom.varExpr(I));
+      ++K;
+    }
+    return Dom;
+  };
+  for (const auto &[ArrayId, D] : Spec.InitialData)
+    Widen(D, ArrayDomain(ArrayId));
+  for (const auto &[ArrayId, D] : Spec.FinalData)
+    Widen(D, ArrayDomain(ArrayId));
+
+  for (unsigned Dd = 0; Dd != Dims; ++Dd)
+    if (VirtHi[Dd] < VirtLo[Dd])
+      fatalError("Simulator: empty virtual processor grid");
+}
+
+IntT Simulator::flatIndex(unsigned ArrayId,
+                          const std::vector<IntT> &Idx) const {
+  const ArrayDecl &D = P.array(ArrayId);
+  std::vector<IntT> Env(P.space().size(), 0);
+  for (unsigned I = 0, E = P.space().size(); I != E; ++I)
+    if (P.space().kind(I) == VarKind::Param)
+      Env[I] = paramValue(Opts.ParamValues, P.space().name(I));
+  IntT Flat = 0;
+  for (unsigned K = 0, E = Idx.size(); K != E; ++K)
+    Flat = addChk(mulChk(Flat, D.DimSizes[K].evaluate(Env)), Idx[K]);
+  return Flat;
+}
+
+void Simulator::initLocalStores() {
+  for (const auto &[ArrayId, D] : Spec.InitialData) {
+    const ArrayDecl &AD = P.array(ArrayId);
+    std::vector<IntT> Sizes;
+    for (const AffineExpr &S : AD.DimSizes) {
+      std::vector<IntT> Env(P.space().size(), 0);
+      for (unsigned I = 0; I != P.space().size(); ++I)
+        if (P.space().kind(I) == VarKind::Param)
+          Env[I] = paramValue(Opts.ParamValues, P.space().name(I));
+      Sizes.push_back(S.evaluate(Env));
+    }
+    // Source values for ownership tests: element indices then params in
+    // the decomposition's source-space order.
+    std::vector<IntT> Src(D.sourceSpace().size(), 0);
+    std::vector<int> DataPos, ParamPos;
+    for (unsigned I = 0; I != D.sourceSpace().size(); ++I) {
+      if (D.sourceSpace().kind(I) == VarKind::Param)
+        Src[I] = paramValue(Opts.ParamValues, D.sourceSpace().name(I));
+      else
+        DataPos.push_back(static_cast<int>(I));
+    }
+    std::vector<IntT> Idx(Sizes.size(), 0);
+    bool Done = Sizes.empty();
+    for (IntT S : Sizes)
+      if (S <= 0)
+        Done = true;
+    while (!Done) {
+      for (unsigned K = 0; K != Idx.size(); ++K)
+        Src[DataPos[K]] = Idx[K];
+      IntT Flat = flatIndex(ArrayId, Idx);
+      for (VirtProc &V : Procs)
+        if (D.owns(Src, V.Coord))
+          V.Store[{ArrayId, Flat}] = initialArrayValue(ArrayId, Flat);
+      for (unsigned K = Idx.size(); K-- > 0;) {
+        if (++Idx[K] < Sizes[K])
+          break;
+        Idx[K] = 0;
+        if (K == 0)
+          Done = true;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+IntT evalBoundList(const std::vector<SpmdBound> &Bs,
+                   const std::vector<IntT> &Env, bool IsLower) {
+  IntT R = 0;
+  bool First = true;
+  for (const SpmdBound &B : Bs) {
+    IntT V = IsLower ? ceilDiv(B.Num.evaluate(Env), B.Den)
+                     : floorDiv(B.Num.evaluate(Env), B.Den);
+    if (First)
+      R = V;
+    else
+      R = IsLower ? std::max(R, V) : std::min(R, V);
+    First = false;
+  }
+  return R;
+}
+
+bool condsHold(const std::vector<Constraint> &Cs,
+               const std::vector<IntT> &Env) {
+  for (const Constraint &C : Cs) {
+    IntT V = C.Expr.evaluate(Env);
+    if (C.isEquality() ? V != 0 : V < 0)
+      return false;
+  }
+  return true;
+}
+
+/// True if the loop body is free of communication and control that could
+/// block, making it collapsible in performance mode.
+bool isCollapsible(const SpmdStmt &For) {
+  for (const SpmdStmt &S : For.Body)
+    if (S.K != SpmdStmt::Kind::Compute && S.K != SpmdStmt::Kind::SetVar)
+      return false;
+  return !For.Body.empty();
+}
+
+} // namespace
+
+double Simulator::statementCost(const Statement &S) const {
+  return Opts.Cost.IterOverhead + countFlops(S) * Opts.Cost.FlopTime;
+}
+
+void Simulator::execComputeIter(VirtProc &V, const SpmdStmt &St) {
+  const Statement &S = P.statement(St.StmtId);
+  if (!Opts.Functional)
+    return;
+  for (unsigned K = 0, E = S.Loops.size(); K != E; ++K)
+    V.ProgEnv[P.loop(S.Loops[K]).VarIndex] =
+        St.IterExprs[K].evaluate(V.Env);
+
+  // Evaluate the right-hand side against the local store.
+  std::function<double(int)> Eval = [&](int Node) -> double {
+    const RVal &R = S.RPool[Node];
+    switch (R.K) {
+    case RVal::Kind::ReadRef: {
+      const Access &A = S.Reads[R.ReadIdx];
+      std::vector<IntT> Idx;
+      for (const AffineExpr &E : A.Indices)
+        Idx.push_back(E.evaluate(V.ProgEnv));
+      IntT Flat = flatIndex(A.ArrayId, Idx);
+      auto It = V.Store.find({A.ArrayId, Flat});
+      if (It == V.Store.end()) {
+        std::string Msg = "locality violation: processor reads " +
+                          P.array(A.ArrayId).Name + " element it never " +
+                          "owned, wrote, or received";
+        fatalError(Msg.c_str());
+      }
+      return It->second;
+    }
+    case RVal::Kind::ConstF:
+      return R.Const;
+    case RVal::Kind::AffineVal:
+      return static_cast<double>(R.Aff.evaluate(V.ProgEnv));
+    case RVal::Kind::Add:
+      return Eval(R.Lhs) + Eval(R.Rhs);
+    case RVal::Kind::Sub:
+      return Eval(R.Lhs) - Eval(R.Rhs);
+    case RVal::Kind::Mul:
+      return Eval(R.Lhs) * Eval(R.Rhs);
+    case RVal::Kind::Div:
+      return Eval(R.Lhs) / Eval(R.Rhs);
+    case RVal::Kind::Select:
+      return Eval(R.Cond) >= 0 ? Eval(R.Lhs) : Eval(R.Rhs);
+    }
+    return 0;
+  };
+  double Val = Eval(S.RRoot);
+  std::vector<IntT> WIdx;
+  for (const AffineExpr &E : S.Write.Indices)
+    WIdx.push_back(E.evaluate(V.ProgEnv));
+  V.Store[{S.Write.ArrayId, flatIndex(S.Write.ArrayId, WIdx)}] = Val;
+}
+
+bool Simulator::stepProc(VirtProc &V, SimResult &R) {
+  bool Ran = false;
+  unsigned Slice = 200000;
+  double &Clock = PhysClock[V.Phys];
+  double &Busy = PhysBusy[V.Phys];
+
+  // Inline executor for pack/unpack bodies (never blocks).
+  std::function<void(const std::vector<SpmdStmt> &,
+                     std::vector<double> *, const std::vector<double> *,
+                     uint64_t &, uint64_t &)>
+      RunItems = [&](const std::vector<SpmdStmt> &List,
+                     std::vector<double> *PackOut,
+                     const std::vector<double> *UnpackIn, uint64_t &Cursor,
+                     uint64_t &Count) {
+        for (const SpmdStmt &S : List) {
+          switch (S.K) {
+          case SpmdStmt::Kind::Seq:
+            RunItems(S.Body, PackOut, UnpackIn, Cursor, Count);
+            break;
+          case SpmdStmt::Kind::SetVar:
+            V.Env[S.Var] = S.ValueDen == 1
+                               ? S.Value.evaluate(V.Env)
+                               : floorDiv(S.Value.evaluate(V.Env),
+                                          S.ValueDen);
+            break;
+          case SpmdStmt::Kind::If:
+            if (condsHold(S.Conds, V.Env))
+              RunItems(S.Body, PackOut, UnpackIn, Cursor, Count);
+            break;
+          case SpmdStmt::Kind::For: {
+            IntT Lo = evalBoundList(S.Lower, V.Env, true);
+            IntT Hi = evalBoundList(S.Upper, V.Env, false);
+            if (!Opts.Functional && Opts.CollapseLoops && Hi >= Lo) {
+              // Collapsible when each iteration contributes exactly one
+              // item unconditionally.
+              unsigned Items = 0;
+              bool Simple = true;
+              for (const SpmdStmt &B : S.Body) {
+                if (B.K == SpmdStmt::Kind::PackElem ||
+                    B.K == SpmdStmt::Kind::UnpackElem)
+                  ++Items;
+                else if (B.K != SpmdStmt::Kind::SetVar)
+                  Simple = false;
+              }
+              if (Simple && Items == 1) {
+                Count += static_cast<uint64_t>(Hi - Lo + 1);
+                Cursor += static_cast<uint64_t>(Hi - Lo + 1);
+                break;
+              }
+            }
+            for (IntT I = Lo; I <= Hi; ++I) {
+              V.Env[S.Var] = I;
+              RunItems(S.Body, PackOut, UnpackIn, Cursor, Count);
+            }
+            break;
+          }
+          case SpmdStmt::Kind::PackElem: {
+            ++Count;
+            if (PackOut && Opts.Functional) {
+              std::vector<IntT> Idx;
+              for (const AffineExpr &E : S.Indices)
+                Idx.push_back(E.evaluate(V.Env));
+              IntT Flat = flatIndex(S.ArrayId, Idx);
+              auto It = V.Store.find({S.ArrayId, Flat});
+              if (It == V.Store.end())
+                fatalError("locality violation: sending a value the "
+                           "processor does not hold");
+              PackOut->push_back(It->second);
+            }
+            break;
+          }
+          case SpmdStmt::Kind::UnpackElem: {
+            ++Count;
+            if (UnpackIn && Opts.Functional) {
+              if (Cursor >= UnpackIn->size())
+                fatalError("message shorter than the receiver expects");
+              std::vector<IntT> Idx;
+              for (const AffineExpr &E : S.Indices)
+                Idx.push_back(E.evaluate(V.Env));
+              V.Store[{S.ArrayId, flatIndex(S.ArrayId, Idx)}] =
+                  (*UnpackIn)[Cursor];
+            }
+            ++Cursor;
+            break;
+          }
+          default:
+            fatalError("communication inside a message body");
+          }
+        }
+      };
+
+  while (!V.Stack.empty() && Slice-- > 0) {
+    Frame &F = V.Stack.back();
+    if (F.Pos >= F.List->size()) {
+      if (F.LoopStmt && ++F.LoopCur <= F.LoopHi) {
+        V.Env[F.LoopStmt->Var] = F.LoopCur;
+        F.Pos = 0;
+        continue;
+      }
+      V.Stack.pop_back();
+      continue;
+    }
+    const SpmdStmt &St = (*F.List)[F.Pos];
+    if (++Events > Opts.MaxEvents)
+      fatalError("simulation event budget exhausted");
+    switch (St.K) {
+    case SpmdStmt::Kind::Seq: {
+      ++F.Pos;
+      Frame NF;
+      NF.List = &St.Body;
+      V.Stack.push_back(NF);
+      break;
+    }
+    case SpmdStmt::Kind::For: {
+      ++F.Pos;
+      IntT Lo = evalBoundList(St.Lower, V.Env, true);
+      IntT Hi = evalBoundList(St.Upper, V.Env, false);
+      if (Lo > Hi)
+        break;
+      if (!Opts.Functional && Opts.CollapseLoops && isCollapsible(St)) {
+        uint64_t Trip = static_cast<uint64_t>(Hi - Lo + 1);
+        double C = 0;
+        for (const SpmdStmt &B : St.Body)
+          if (B.K == SpmdStmt::Kind::Compute) {
+            C += statementCost(P.statement(B.StmtId));
+            R.Flops += Trip * countFlops(P.statement(B.StmtId));
+            R.ComputeIterations += Trip;
+          }
+        Clock += Trip * C;
+        Busy += Trip * C;
+        break;
+      }
+      V.Env[St.Var] = Lo;
+      Frame NF;
+      NF.List = &St.Body;
+      NF.LoopStmt = &St;
+      NF.LoopCur = Lo;
+      NF.LoopHi = Hi;
+      V.Stack.push_back(NF);
+      break;
+    }
+    case SpmdStmt::Kind::If: {
+      ++F.Pos;
+      if (condsHold(St.Conds, V.Env)) {
+        Frame NF;
+        NF.List = &St.Body;
+        V.Stack.push_back(NF);
+      }
+      break;
+    }
+    case SpmdStmt::Kind::SetVar:
+      V.Env[St.Var] = St.ValueDen == 1
+                          ? St.Value.evaluate(V.Env)
+                          : floorDiv(St.Value.evaluate(V.Env),
+                                     St.ValueDen);
+      ++F.Pos;
+      break;
+    case SpmdStmt::Kind::Compute: {
+      execComputeIter(V, St);
+      double C = statementCost(P.statement(St.StmtId));
+      Clock += C;
+      Busy += C;
+      R.Flops += countFlops(P.statement(St.StmtId));
+      ++R.ComputeIterations;
+      V.LastMulticastComm = -1;
+      ++F.Pos;
+      break;
+    }
+    case SpmdStmt::Kind::Send: {
+      std::vector<IntT> Dst;
+      for (const AffineExpr &E : St.Peer)
+        Dst.push_back(E.evaluate(V.Env));
+      Message M;
+      if (St.IsMulticast &&
+          V.CachedPackComm == static_cast<int>(St.CommId) &&
+          V.LastMulticastComm == static_cast<int>(St.CommId)) {
+        // Multicast content is receiver-independent (Section 6.2.1):
+        // reuse the packing from the burst's first destination.
+        M.Data = V.CachedData;
+        M.WordCount = V.CachedCount;
+      } else {
+        uint64_t Cursor = 0, Count = 0;
+        std::vector<double> Data;
+        RunItems(St.Body, &Data, nullptr, Cursor, Count);
+        M.Data = std::move(Data);
+        M.WordCount = Count;
+        if (St.IsMulticast) {
+          V.CachedPackComm = static_cast<int>(St.CommId);
+          V.CachedData = M.Data;
+          V.CachedCount = M.WordCount;
+        } else {
+          V.CachedPackComm = -1;
+        }
+      }
+      unsigned DstPhys = physOf(Dst);
+      bool Intra = DstPhys == V.Phys;
+      bool InBurst = St.IsMulticast &&
+                     V.LastMulticastComm == static_cast<int>(St.CommId);
+      if (!InBurst)
+        V.BurstPhys.clear();
+      if (Intra && Opts.FreeIntraPhysical) {
+        ++R.IntraMessages;
+        M.ReadyTime = Clock;
+      } else if (InBurst && V.BurstPhys.count(DstPhys)) {
+        // Same physical processor already got this content in the burst:
+        // one wire message serves every folded virtual processor.
+        ++R.IntraMessages;
+        M.ReadyTime = V.BurstReady;
+      } else {
+        double C;
+        if (InBurst && !V.BurstPhys.empty())
+          C = Opts.Cost.MulticastExtraDest;
+        else
+          C = Opts.Cost.MsgLatency + M.WordCount * Opts.Cost.SendPerWord;
+        Clock += C;
+        Busy += C;
+        ++R.Messages;
+        R.Words += M.WordCount;
+        M.ReadyTime =
+            Clock + Opts.Cost.MsgLatency +
+            static_cast<double>(M.WordCount) * Opts.Cost.WireTimePerWord;
+        V.BurstPhys.insert(DstPhys);
+        V.BurstReady = M.ReadyTime;
+      }
+      M.FromMulticast = St.IsMulticast;
+      V.LastMulticastComm = St.IsMulticast ? static_cast<int>(St.CommId)
+                                           : -1;
+      std::vector<IntT> Key;
+      Key.push_back(static_cast<IntT>(St.CommId));
+      for (IntT C2 : V.Coord)
+        Key.push_back(C2);
+      for (IntT C2 : Dst)
+        Key.push_back(C2);
+      Queues[Key].push_back(std::move(M));
+      ++F.Pos;
+      break;
+    }
+    case SpmdStmt::Kind::Recv: {
+      std::vector<IntT> Src;
+      for (const AffineExpr &E : St.Peer)
+        Src.push_back(E.evaluate(V.Env));
+      std::vector<IntT> Key;
+      Key.push_back(static_cast<IntT>(St.CommId));
+      for (IntT C2 : Src)
+        Key.push_back(C2);
+      for (IntT C2 : V.Coord)
+        Key.push_back(C2);
+      auto It = Queues.find(Key);
+      if (It == Queues.end() || It->second.empty()) {
+        // A blocked receive attempt is NOT progress: if every processor
+        // ends up here, the scheduler must report deadlock rather than
+        // spin retrying.
+        V.Blocked = true;
+        --Events;
+        return Ran;
+      }
+      Ran = true;
+      Message M = std::move(It->second.front());
+      It->second.erase(It->second.begin());
+      if (M.ReadyTime > Clock)
+        Clock = M.ReadyTime; // waiting, not busy
+      uint64_t Cursor = 0, Count = 0;
+      RunItems(St.Body, nullptr, &M.Data, Cursor, Count);
+      if (Count != M.WordCount)
+        fatalError("message length mismatch between sender and receiver");
+      double C = M.FromMulticast
+                     ? 0.0
+                     : static_cast<double>(Count) * Opts.Cost.RecvPerWord;
+      Clock += C;
+      Busy += C;
+      V.LastMulticastComm = -1;
+      ++F.Pos;
+      break;
+    }
+    case SpmdStmt::Kind::PackElem:
+    case SpmdStmt::Kind::UnpackElem:
+      fatalError("pack/unpack outside a message body");
+    }
+    Ran = true;
+  }
+  if (V.Stack.empty())
+    V.Finished = true;
+  return Ran;
+}
+
+SimResult Simulator::run() {
+  SimResult R;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    bool AllDone = true;
+    for (VirtProc &V : Procs) {
+      if (V.Finished)
+        continue;
+      V.Blocked = false;
+      if (stepProc(V, R))
+        Progress = true;
+      if (!V.Finished)
+        AllDone = false;
+    }
+    if (AllDone) {
+      R.Ok = true;
+      break;
+    }
+    if (!Progress) {
+      R.Ok = false;
+      R.Error = "deadlock: every unfinished processor is blocked on a "
+                "receive with no matching message";
+      return R;
+    }
+  }
+  // Undelivered messages indicate a send/receive mismatch.
+  for (const auto &[Key, Q] : Queues) {
+    if (Q.empty())
+      continue;
+    R.Ok = false;
+    R.Error = "unconsumed messages remain in the network";
+    return R;
+  }
+  R.TotalEvents = Events;
+  R.MakespanSeconds = 0;
+  for (double C : PhysClock)
+    R.MakespanSeconds = std::max(R.MakespanSeconds, C);
+  R.PhysBusy = PhysBusy;
+  return R;
+}
+
+std::optional<double> Simulator::finalValue(
+    unsigned ArrayId, const std::vector<IntT> &Idx) const {
+  auto It = Spec.FinalData.find(ArrayId);
+  IntT Flat = flatIndex(ArrayId, Idx);
+  if (It != Spec.FinalData.end() && It->second.isUnique()) {
+    const Decomposition &D = It->second;
+    std::vector<IntT> Src(D.sourceSpace().size(), 0);
+    unsigned K = 0;
+    for (unsigned I = 0; I != D.sourceSpace().size(); ++I) {
+      if (D.sourceSpace().kind(I) == VarKind::Param)
+        Src[I] = paramValue(Opts.ParamValues, D.sourceSpace().name(I));
+      else
+        Src[I] = Idx[K++];
+    }
+    std::vector<IntT> Owner = D.gridCoordinate(Src);
+    for (const VirtProc &V : Procs) {
+      if (V.Coord != Owner)
+        continue;
+      auto SIt = V.Store.find({ArrayId, Flat});
+      if (SIt == V.Store.end())
+        return std::nullopt;
+      return SIt->second;
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}

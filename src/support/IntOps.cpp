@@ -1,0 +1,30 @@
+//===- support/IntOps.cpp -------------------------------------*- C++ -*-===//
+
+#include "support/IntOps.h"
+
+#include <cstdio>
+
+using namespace dmcc;
+
+void dmcc::fatalError(const char *Msg) {
+  std::fprintf(stderr, "dmcc fatal error: %s\n", Msg);
+  std::abort();
+}
+
+IntT dmcc::gcdInt(IntT A, IntT B) {
+  A = absChk(A);
+  B = absChk(B);
+  while (B != 0) {
+    IntT T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+IntT dmcc::lcmInt(IntT A, IntT B) {
+  if (A == 0 || B == 0)
+    return 0;
+  IntT G = gcdInt(A, B);
+  return mulChk(absChk(A) / G, absChk(B));
+}

@@ -1,0 +1,97 @@
+//===- support/IntOps.h - Checked integer arithmetic -----------*- C++ -*-===//
+//
+// Part of dmcc, a reproduction of Amarasinghe & Lam, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checked 64-bit integer arithmetic used throughout the polyhedral layer.
+/// Fourier-Motzkin elimination multiplies constraint coefficients, so every
+/// arithmetic operation here aborts (in builds with assertions) rather than
+/// silently wrapping on overflow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMCC_SUPPORT_INTOPS_H
+#define DMCC_SUPPORT_INTOPS_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+
+namespace dmcc {
+
+/// The integer type used for all polyhedral coefficients.
+using IntT = int64_t;
+
+/// Aborts the process with \p Msg. Used for invariant violations that must
+/// be fatal even in release builds (e.g. coefficient overflow).
+[[noreturn]] void fatalError(const char *Msg);
+
+/// Returns \p A + \p B, aborting on signed overflow.
+inline IntT addChk(IntT A, IntT B) {
+  IntT R;
+  if (__builtin_add_overflow(A, B, &R))
+    fatalError("integer overflow in addition");
+  return R;
+}
+
+/// Returns \p A - \p B, aborting on signed overflow.
+inline IntT subChk(IntT A, IntT B) {
+  IntT R;
+  if (__builtin_sub_overflow(A, B, &R))
+    fatalError("integer overflow in subtraction");
+  return R;
+}
+
+/// Returns \p A * \p B, aborting on signed overflow.
+inline IntT mulChk(IntT A, IntT B) {
+  IntT R;
+  if (__builtin_mul_overflow(A, B, &R))
+    fatalError("integer overflow in multiplication");
+  return R;
+}
+
+/// Returns |A|, aborting on INT64_MIN.
+inline IntT absChk(IntT A) {
+  if (A == INT64_MIN)
+    fatalError("integer overflow in abs");
+  return A < 0 ? -A : A;
+}
+
+/// Returns gcd(|A|, |B|); gcd(0, 0) == 0.
+IntT gcdInt(IntT A, IntT B);
+
+/// Returns lcm(|A|, |B|); aborts on overflow.
+IntT lcmInt(IntT A, IntT B);
+
+/// Returns floor(A / B) for B != 0 (rounds toward negative infinity).
+inline IntT floorDiv(IntT A, IntT B) {
+  assert(B != 0 && "division by zero");
+  IntT Q = A / B;
+  if ((A % B != 0) && ((A < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+/// Returns ceil(A / B) for B != 0 (rounds toward positive infinity).
+inline IntT ceilDiv(IntT A, IntT B) {
+  assert(B != 0 && "division by zero");
+  IntT Q = A / B;
+  if ((A % B != 0) && ((A < 0) == (B < 0)))
+    ++Q;
+  return Q;
+}
+
+/// Returns A mod B in the range [0, B) for B > 0 (mathematical modulus).
+inline IntT floorMod(IntT A, IntT B) {
+  assert(B > 0 && "floorMod requires a positive modulus");
+  IntT R = A % B;
+  if (R < 0)
+    R += B;
+  return R;
+}
+
+} // namespace dmcc
+
+#endif // DMCC_SUPPORT_INTOPS_H

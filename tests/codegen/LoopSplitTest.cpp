@@ -1,0 +1,203 @@
+//===- tests/codegen/LoopSplitTest.cpp ------------------------*- C++ -*-===//
+//
+// Section 5.4 static loop splitting: guards on the loop variable become
+// segment bounds; semantics (the multiset of executed statements per
+// env) must be preserved.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/LoopSplit.h"
+#include "frontend/Parser.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmcc;
+
+namespace {
+
+/// Interprets an SPMD statement list, recording (marker, env-var) events
+/// for Compute leaves; enough to compare pre/post-splitting behaviour.
+void interpret(const std::vector<SpmdStmt> &Stmts, std::vector<IntT> &Env,
+               std::vector<std::pair<unsigned, IntT>> &Trace,
+               unsigned TraceVar) {
+  for (const SpmdStmt &S : Stmts) {
+    switch (S.K) {
+    case SpmdStmt::Kind::For: {
+      IntT Lo = INT64_MIN, Hi = INT64_MAX;
+      for (const SpmdBound &B : S.Lower)
+        Lo = std::max(Lo, ceilDiv(B.Num.evaluate(Env), B.Den));
+      for (const SpmdBound &B : S.Upper)
+        Hi = std::min(Hi, floorDiv(B.Num.evaluate(Env), B.Den));
+      for (IntT I = Lo; I <= Hi; ++I) {
+        Env[S.Var] = I;
+        interpret(S.Body, Env, Trace, TraceVar);
+      }
+      break;
+    }
+    case SpmdStmt::Kind::If: {
+      bool Holds = true;
+      for (const Constraint &C : S.Conds) {
+        IntT V = C.Expr.evaluate(Env);
+        if (C.isEquality() ? V != 0 : V < 0)
+          Holds = false;
+      }
+      if (Holds)
+        interpret(S.Body, Env, Trace, TraceVar);
+      break;
+    }
+    case SpmdStmt::Kind::SetVar:
+      Env[S.Var] = S.Value.evaluate(Env);
+      break;
+    case SpmdStmt::Kind::Compute:
+      Trace.emplace_back(S.StmtId, Env[TraceVar]);
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+SpmdStmt makeCompute(unsigned Id) {
+  SpmdStmt C;
+  C.K = SpmdStmt::Kind::Compute;
+  C.StmtId = Id;
+  return C;
+}
+
+} // namespace
+
+TEST(LoopSplitTest, PaperSection54Example) {
+  // for i = 0..300 { if (i <= 200) recv; if (i >= 100) send; } becomes
+  // three guard-free segments.
+  SpmdProgram Prog;
+  unsigned I = Prog.Sp.add("i", VarKind::Loop);
+  Prog.MyProcVars = {};
+  SpmdStmt For;
+  For.K = SpmdStmt::Kind::For;
+  For.Var = I;
+  For.Lower = {SpmdBound{AffineExpr::constant(1, 0), 1}};
+  For.Upper = {SpmdBound{AffineExpr::constant(1, 300), 1}};
+  SpmdStmt IfRecv;
+  IfRecv.K = SpmdStmt::Kind::If;
+  IfRecv.Conds = {Constraint::ge(
+      AffineExpr::var(1, I, -1).plusConst(200))}; // i <= 200
+  IfRecv.Body.push_back(makeCompute(0));
+  SpmdStmt IfSend;
+  IfSend.K = SpmdStmt::Kind::If;
+  IfSend.Conds = {
+      Constraint::ge(AffineExpr::var(1, I).plusConst(-100))}; // i >= 100
+  IfSend.Body.push_back(makeCompute(1));
+  For.Body.push_back(std::move(IfRecv));
+  For.Body.push_back(std::move(IfSend));
+  Prog.Top.push_back(std::move(For));
+
+  std::vector<IntT> Env(1, 0);
+  std::vector<std::pair<unsigned, IntT>> Before;
+  interpret(Prog.Top, Env, Before, I);
+
+  LoopSplitStats St = splitLoops(Prog);
+  EXPECT_GE(St.LoopsSplit, 1u);
+  EXPECT_GE(St.GuardsEliminated, 2u); // the 2nd guard splits per segment
+  // No If with loop-var conditions remains at loop level.
+  for (const SpmdStmt &S : Prog.Top) {
+    ASSERT_EQ(S.K, SpmdStmt::Kind::For);
+    for (const SpmdStmt &B : S.Body)
+      EXPECT_NE(B.K, SpmdStmt::Kind::If);
+  }
+
+  std::vector<std::pair<unsigned, IntT>> After;
+  interpret(Prog.Top, Env, After, I);
+  EXPECT_EQ(Before, After);
+}
+
+TEST(LoopSplitTest, EqualityGuardMakesThreeSegments) {
+  SpmdProgram Prog;
+  unsigned I = Prog.Sp.add("i", VarKind::Loop);
+  SpmdStmt For;
+  For.K = SpmdStmt::Kind::For;
+  For.Var = I;
+  For.Lower = {SpmdBound{AffineExpr::constant(1, 0), 1}};
+  For.Upper = {SpmdBound{AffineExpr::constant(1, 9), 1}};
+  SpmdStmt If;
+  If.K = SpmdStmt::Kind::If;
+  If.Conds = {Constraint::eq(AffineExpr::var(1, I).plusConst(-4))};
+  If.Body.push_back(makeCompute(7));
+  For.Body.push_back(makeCompute(0));
+  For.Body.push_back(std::move(If));
+  Prog.Top.push_back(std::move(For));
+
+  std::vector<IntT> Env(1, 0);
+  std::vector<std::pair<unsigned, IntT>> Before;
+  interpret(Prog.Top, Env, Before, I);
+  splitLoops(Prog);
+  std::vector<std::pair<unsigned, IntT>> After;
+  interpret(Prog.Top, Env, After, I);
+  EXPECT_EQ(Before, After);
+  EXPECT_EQ(Prog.Top.size(), 3u);
+}
+
+TEST(LoopSplitTest, GuardsOnBodyAssignedVarsAreKept) {
+  // if (q <= 5) with q assigned inside the loop must NOT move to bounds.
+  SpmdProgram Prog;
+  unsigned I = Prog.Sp.add("i", VarKind::Loop);
+  unsigned Q = Prog.Sp.add("q", VarKind::Proc);
+  SpmdStmt For;
+  For.K = SpmdStmt::Kind::For;
+  For.Var = I;
+  For.Lower = {SpmdBound{AffineExpr::constant(2, 0), 1}};
+  For.Upper = {SpmdBound{AffineExpr::constant(2, 9), 1}};
+  SpmdStmt Set;
+  Set.K = SpmdStmt::Kind::SetVar;
+  Set.Var = Q;
+  Set.Value = AffineExpr::var(2, I); // q = i
+  SpmdStmt If;
+  If.K = SpmdStmt::Kind::If;
+  If.Conds = {Constraint::ge(
+      AffineExpr::var(2, Q, -1).plusConst(5) + AffineExpr::var(2, I, 1) -
+      AffineExpr::var(2, I, 1))}; // q <= 5 (involves q only)
+  If.Body.push_back(makeCompute(3));
+  For.Body.push_back(std::move(Set));
+  For.Body.push_back(std::move(If));
+  Prog.Top.push_back(std::move(For));
+
+  LoopSplitStats St = splitLoops(Prog);
+  EXPECT_EQ(St.LoopsSplit, 0u);
+  EXPECT_EQ(St.GuardsEliminated, 0u);
+}
+
+TEST(LoopSplitTest, CompilerAppliesSplitting) {
+  Program P = parseProgramOrDie(R"(
+param T;
+param N;
+array X[N + 1];
+for t = 0 to T {
+  for i = 3 to N {
+    X[i] = X[i - 3];
+  }
+}
+)");
+  CompileSpec Spec;
+  Spec.Stmts.push_back(StmtPlan{0, blockComputation(P, 0, 1, 8)});
+  Spec.InitialData.emplace(0, blockData(P, 0, 0, 8));
+  Spec.FinalData.emplace(0, blockData(P, 0, 0, 8));
+  CompilerOptions On, Off;
+  Off.SplitLoops = false;
+  CompiledProgram CPOn = compile(P, Spec, On);
+  CompiledProgram CPOff = compile(P, Spec, Off);
+  EXPECT_GT(CPOn.Stats.GuardsEliminated, 0u);
+  EXPECT_EQ(CPOff.Stats.GuardsEliminated, 0u);
+
+  // Both variants must behave identically on the machine.
+  SimOptions SO;
+  SO.PhysGrid = {2};
+  SO.ParamValues = {{"T", 3}, {"N", 31}};
+  SO.Functional = true;
+  SimResult ROn = Simulator(P, CPOn, Spec, SO).run();
+  SimResult ROff = Simulator(P, CPOff, Spec, SO).run();
+  ASSERT_TRUE(ROn.Ok) << ROn.Error;
+  ASSERT_TRUE(ROff.Ok) << ROff.Error;
+  EXPECT_EQ(ROn.Messages, ROff.Messages);
+  EXPECT_EQ(ROn.Words, ROff.Words);
+  EXPECT_EQ(ROn.Flops, ROff.Flops);
+}

@@ -1,0 +1,220 @@
+//===- tests/codegen/ScanTest.cpp -----------------------------*- C++ -*-===//
+//
+// Polyhedron scanning (Section 5.2, Figure 6) and local memory boxes
+// (Section 5.5).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodeGen.h"
+#include "codegen/Scan.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmcc;
+
+namespace {
+
+/// Interprets a scanned loop nest, collecting the (i, j) points the body
+/// would visit, to compare against direct enumeration.
+void interpret(const std::vector<SpmdStmt> &Stmts, std::vector<IntT> &Env,
+               const std::vector<unsigned> &Collect,
+               std::vector<std::vector<IntT>> &Out) {
+  for (const SpmdStmt &S : Stmts) {
+    switch (S.K) {
+    case SpmdStmt::Kind::For: {
+      IntT Lo = 0, Hi = -1;
+      bool First = true;
+      for (const SpmdBound &B : S.Lower) {
+        IntT V = ceilDiv(B.Num.evaluate(Env), B.Den);
+        Lo = First ? V : std::max(Lo, V);
+        First = false;
+      }
+      First = true;
+      for (const SpmdBound &B : S.Upper) {
+        IntT V = floorDiv(B.Num.evaluate(Env), B.Den);
+        Hi = First ? V : std::min(Hi, V);
+        First = false;
+      }
+      for (IntT I = Lo; I <= Hi; ++I) {
+        Env[S.Var] = I;
+        interpret(S.Body, Env, Collect, Out);
+      }
+      break;
+    }
+    case SpmdStmt::Kind::If: {
+      bool Holds = true;
+      for (const Constraint &C : S.Conds) {
+        IntT V = C.Expr.evaluate(Env);
+        if (C.isEquality() ? V != 0 : V < 0)
+          Holds = false;
+      }
+      if (Holds)
+        interpret(S.Body, Env, Collect, Out);
+      break;
+    }
+    case SpmdStmt::Kind::SetVar:
+      Env[S.Var] = S.ValueDen == 1
+                       ? S.Value.evaluate(Env)
+                       : floorDiv(S.Value.evaluate(Env), S.ValueDen);
+      break;
+    case SpmdStmt::Kind::Compute: {
+      std::vector<IntT> Pt;
+      for (unsigned V : Collect)
+        Pt.push_back(Env[V]);
+      Out.push_back(std::move(Pt));
+      break;
+    }
+    default:
+      FAIL() << "unexpected statement kind in scan test";
+    }
+  }
+}
+
+/// Scans \p S over \p Order and returns the visited points.
+std::vector<std::vector<IntT>> runScan(const System &S,
+                                       const std::vector<unsigned> &Order) {
+  std::vector<ScanVarPlan> Plan;
+  for (unsigned V : Order)
+    Plan.push_back(ScanVarPlan{V, false, AffineExpr()});
+  std::vector<SpmdStmt> Code = scanPolyhedron(S, Plan, [&]() {
+    SpmdStmt C;
+    C.K = SpmdStmt::Kind::Compute;
+    std::vector<SpmdStmt> B;
+    B.push_back(std::move(C));
+    return B;
+  });
+  std::vector<IntT> Env(S.numVars(), 0);
+  std::vector<std::vector<IntT>> Out;
+  interpret(Code, Env, Order, Out);
+  return Out;
+}
+
+} // namespace
+
+TEST(ScanTest, PaperFigure6BothOrders) {
+  // Figure 6's 2-D polyhedron: 16 - i <= j, 2j <= i + 12, j >= 1, i <= 14
+  // (reconstructed from the picture's bounding constraints).
+  Space Sp;
+  Sp.add("i", VarKind::Loop);
+  Sp.add("j", VarKind::Loop);
+  System S(std::move(Sp));
+  S.addGE(S.varExpr(1) - S.constExpr(16) + S.varExpr(0)); // i + j >= 16
+  S.addGE(S.varExpr(0).plusConst(12) - S.varExpr(1).scale(2));
+  S.addGE(S.varExpr(1).plusConst(-1));
+  S.addGE(S.constExpr(14) - S.varExpr(0));
+
+  // Ground truth.
+  std::vector<std::vector<IntT>> Expect;
+  S.enumeratePoints(
+      [&](const std::vector<IntT> &P) { Expect.push_back(P); });
+  ASSERT_FALSE(Expect.empty());
+
+  // (i, j) order visits exactly the same points, in the same order.
+  auto IJ = runScan(S, {0, 1});
+  EXPECT_EQ(IJ, Expect);
+
+  // (j, i) order: same set, lexicographic in (j, i).
+  auto JI = runScan(S, {1, 0});
+  ASSERT_EQ(JI.size(), Expect.size());
+  for (unsigned K = 1; K < JI.size(); ++K)
+    EXPECT_TRUE(JI[K - 1] < JI[K]);
+}
+
+TEST(ScanTest, DegenerateVariableBecomesAssignment) {
+  // ps == pr - 1 (Figure 7c): scanning ps emits an assignment, not a
+  // loop.
+  Space Sp;
+  Sp.add("pr", VarKind::Proc);
+  Sp.add("ps", VarKind::Proc);
+  System S(std::move(Sp));
+  S.addEq(S.varExpr(1), S.varExpr(0).plusConst(-1));
+  S.addRange(0, 1, 3);
+  std::vector<ScanVarPlan> Plan{ScanVarPlan{0, false, AffineExpr()},
+                                ScanVarPlan{1, false, AffineExpr()}};
+  auto Code = scanPolyhedron(S, Plan, [&]() {
+    SpmdStmt C;
+    C.K = SpmdStmt::Kind::Compute;
+    std::vector<SpmdStmt> B;
+    B.push_back(std::move(C));
+    return B;
+  });
+  // Expect: for pr { ps = pr - 1; compute; }.
+  ASSERT_EQ(Code.size(), 1u);
+  ASSERT_EQ(Code[0].K, SpmdStmt::Kind::For);
+  ASSERT_GE(Code[0].Body.size(), 2u);
+  EXPECT_EQ(Code[0].Body[0].K, SpmdStmt::Kind::SetVar);
+  EXPECT_EQ(Code[0].Body[0].Var, 1u);
+}
+
+TEST(ScanTest, EmptySystemScansToNothing) {
+  Space Sp;
+  Sp.add("i", VarKind::Loop);
+  System S(std::move(Sp));
+  S.addRange(0, 5, 2); // empty
+  std::vector<ScanVarPlan> Plan{ScanVarPlan{0, false, AffineExpr()}};
+  auto Out = runScan(S, {0});
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(ScanTest, StridedSetViaAuxiliaryVariable) {
+  // Multiples of 3 in [0, 10]: i == 3q with q existential; scanning
+  // (q, i) enumerates i in {0, 3, 6, 9}.
+  Space Sp;
+  Sp.add("q", VarKind::Aux);
+  Sp.add("i", VarKind::Loop);
+  System S(std::move(Sp));
+  S.addEq(S.varExpr(1), S.varExpr(0).scale(3));
+  S.addRange(1, 0, 10);
+  auto Out = runScan(S, {0, 1});
+  std::vector<std::vector<IntT>> Expect{{0, 0}, {1, 3}, {2, 6}, {3, 9}};
+  EXPECT_EQ(Out, Expect);
+}
+
+TEST(ScanTest, LULocalMemoryBox) {
+  // Section 5.5 / Section 7: under the cyclic row decomposition each
+  // processor's write accesses to X touch one row per owned virtual
+  // processor; the bounding box of the write access X[i2][i3] for
+  // virtual processor p is row p, columns p+1..N.
+  Program P = parseProgramOrDie(R"(
+param N;
+array X[N + 1][N + 1];
+for i1 = 0 to N {
+  for i2 = i1 + 1 to N {
+    X[i2][i1] = X[i2][i1] / X[i1][i1];
+    for i3 = i1 + 1 to N {
+      X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3];
+    }
+  }
+}
+)");
+  Decomposition D = cyclicData(P, 0, 0);
+  StmtPlan SP{1, ownerComputes(P, 1, D)};
+  SpmdSpace SS(P, 1);
+  LocalBox Box;
+  ASSERT_TRUE(computeLocalBox(SS, SP, P.statement(1).Write, Box));
+  ASSERT_EQ(Box.Lower.size(), 2u);
+  // Row dimension: exactly myp0 (lower == upper == p).
+  std::vector<IntT> Env(SS.prog().Sp.size(), 0);
+  int MyP = SS.prog().MyProcVars[0];
+  int NV = SS.prog().Sp.indexOf("N");
+  ASSERT_GE(NV, 0);
+  Env[MyP] = 5;
+  Env[NV] = 12;
+  auto EvalLo = [&](unsigned Dim) {
+    IntT R = INT64_MIN;
+    for (const SpmdBound &B : Box.Lower[Dim])
+      R = std::max(R, ceilDiv(B.Num.evaluate(Env), B.Den));
+    return R;
+  };
+  auto EvalHi = [&](unsigned Dim) {
+    IntT R = INT64_MAX;
+    for (const SpmdBound &B : Box.Upper[Dim])
+      R = std::min(R, floorDiv(B.Num.evaluate(Env), B.Den));
+    return R;
+  };
+  EXPECT_EQ(EvalLo(0), 5);
+  EXPECT_EQ(EvalHi(0), 5);
+  EXPECT_EQ(EvalLo(1), 1);  // columns i1+1 with i1 >= 0
+  EXPECT_EQ(EvalHi(1), 12); // ..N
+}

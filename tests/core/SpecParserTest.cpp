@@ -1,0 +1,153 @@
+//===- tests/core/SpecParserTest.cpp --------------------------*- C++ -*-===//
+
+#include "core/SpecParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmcc;
+
+namespace {
+
+const char *Annotated = R"(
+param N = 32;
+array X[N + 1];
+array Y[N + 1];
+decompose X block(0, 8) overlap(1, 1);
+decompose Y block(0, 8);
+final Y block(0, 4);
+compute S0 block(1, 8);
+compute S1 cyclic(0);
+for t = 0 to 3 {
+  for i = 1 to N - 1 {
+    Y[i] = X[i - 1] + X[i + 1];
+  }
+}
+for i2 = 0 to N {
+  X[i2] = Y[i2];
+}
+)";
+
+} // namespace
+
+TEST(SpecParserTest, ParsesDirectivesAndProgram) {
+  SpecParseOutput Out = parseWithSpec(Annotated);
+  ASSERT_TRUE(Out.ok()) << Out.Error;
+  EXPECT_EQ(Out.Prog->numStatements(), 2u);
+  EXPECT_EQ(Out.ParamDefaults.at("N"), 32);
+  ASSERT_EQ(Out.Spec.Stmts.size(), 2u);
+  // S0: blocks of 8 on loop position 1.
+  EXPECT_EQ(Out.Spec.Stmts[0].Comp.dim(0).Block, 8);
+  // S1: cyclic = block 1.
+  EXPECT_EQ(Out.Spec.Stmts[1].Comp.dim(0).Block, 1);
+  // X's initial layout has the overlap; Y's final layout differs.
+  const Decomposition &DX = Out.Spec.InitialData.at(0);
+  EXPECT_EQ(DX.dim(0).OverlapLo, 1);
+  EXPECT_EQ(DX.dim(0).OverlapHi, 1);
+  EXPECT_EQ(Out.Spec.FinalData.at(1).dim(0).Block, 4);
+  // X's final layout defaults to its initial one.
+  EXPECT_EQ(Out.Spec.FinalData.at(0).dim(0).Block, 8);
+}
+
+TEST(SpecParserTest, OwnerComputesDefault) {
+  SpecParseOutput Out = parseWithSpec(R"(
+param N;
+array A[N + 1];
+decompose A block(0, 4);
+for i = 0 to N { A[i] = i; }
+)");
+  ASSERT_TRUE(Out.ok()) << Out.Error;
+  ASSERT_EQ(Out.Spec.Stmts.size(), 1u);
+  // Owner-computes on A: iteration i in blocks of 4.
+  EXPECT_TRUE(Out.Spec.Stmts[0].Comp.isUnique());
+  EXPECT_EQ(Out.Spec.Stmts[0].Comp.dim(0).Block, 4);
+}
+
+TEST(SpecParserTest, ExplicitOwnerDirective) {
+  SpecParseOutput Out = parseWithSpec(R"(
+param N;
+array A[N + 1];
+decompose A cyclic(0);
+compute S0 owner(A);
+for i = 0 to N { A[i] = i; }
+)");
+  ASSERT_TRUE(Out.ok()) << Out.Error;
+  EXPECT_EQ(Out.Spec.Stmts[0].Comp.dim(0).Block, 1);
+}
+
+TEST(SpecParserTest, Replicated) {
+  SpecParseOutput Out = parseWithSpec(R"(
+param N;
+array A[N + 1];
+array B[N + 1];
+decompose A replicated;
+decompose B block(0, 4);
+for i = 0 to N { B[i] = A[i]; }
+)");
+  ASSERT_TRUE(Out.ok()) << Out.Error;
+  EXPECT_TRUE(Out.Spec.InitialData.at(0).dim(0).Replicated);
+}
+
+TEST(SpecParserTest, Errors) {
+  // Unknown array.
+  EXPECT_FALSE(parseWithSpec(R"(
+param N;
+array A[N];
+decompose Z block(0, 4);
+for i = 0 to N - 1 { A[i] = 1; }
+)").ok());
+  // Statement out of range.
+  EXPECT_FALSE(parseWithSpec(R"(
+param N;
+array A[N];
+decompose A block(0, 4);
+compute S7 block(0, 4);
+for i = 0 to N - 1 { A[i] = 1; }
+)").ok());
+  // Dimension out of range.
+  EXPECT_FALSE(parseWithSpec(R"(
+param N;
+array A[N];
+decompose A block(3, 4);
+for i = 0 to N - 1 { A[i] = 1; }
+)").ok());
+  // Owner-computes on an overlapped layout must be rejected.
+  EXPECT_FALSE(parseWithSpec(R"(
+param N;
+array A[N];
+decompose A block(0, 4) overlap(1, 1);
+for i = 0 to N - 1 { A[i] = 1; }
+)").ok());
+  // Replicated computation is meaningless.
+  EXPECT_FALSE(parseWithSpec(R"(
+param N;
+array A[N];
+decompose A block(0, 4);
+compute S0 replicated;
+for i = 0 to N - 1 { A[i] = 1; }
+)").ok());
+  // Bad mapping syntax.
+  SpecParseOutput Bad = parseWithSpec(R"(
+param N;
+array A[N];
+decompose A block(0);
+for i = 0 to N - 1 { A[i] = 1; }
+)");
+  EXPECT_FALSE(Bad.ok());
+  EXPECT_FALSE(Bad.Error.empty());
+}
+
+TEST(SpecParserTest, CompiledAndSimulatable) {
+  SpecParseOutput Out = parseWithSpec(R"(
+param N = 15;
+array A[N + 1];
+array B[N + 1];
+decompose A block(0, 4);
+decompose B block(0, 4);
+for i = 0 to N { A[i] = i; }
+for j = 0 to N { B[j] = A[N - j]; }
+)");
+  ASSERT_TRUE(Out.ok()) << Out.Error;
+  CompiledProgram CP = compile(*Out.Prog, Out.Spec);
+  EXPECT_TRUE(CP.Stats.AllExact);
+  EXPECT_GT(CP.Comms.size(), 0u);
+}

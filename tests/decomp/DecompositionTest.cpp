@@ -1,0 +1,185 @@
+//===- tests/decomp/DecompositionTest.cpp ---------------------*- C++ -*-===//
+
+#include "decomp/Decomposition.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmcc;
+
+namespace {
+
+Program shiftProgram() {
+  return parseProgramOrDie(R"(
+param T;
+param N;
+array X[N + 1];
+for t = 0 to T {
+  for i = 3 to N {
+    X[i] = X[i - 3];
+  }
+}
+)");
+}
+
+} // namespace
+
+TEST(DecompositionTest, BlockDataOwnership) {
+  Program P = shiftProgram();
+  // Rows of X in blocks of 32, as in the paper's running example.
+  Decomposition D = blockData(P, 0, 0, 32);
+  EXPECT_FALSE(D.dim(0).Replicated);
+  EXPECT_TRUE(D.isUnique());
+  // Source vals: (a0, T, N).
+  EXPECT_EQ(D.gridCoordinate({0, 0, 100})[0], 0);
+  EXPECT_EQ(D.gridCoordinate({31, 0, 100})[0], 0);
+  EXPECT_EQ(D.gridCoordinate({32, 0, 100})[0], 1);
+  EXPECT_TRUE(D.owns({33, 0, 100}, {1}));
+  EXPECT_FALSE(D.owns({33, 0, 100}, {0}));
+}
+
+TEST(DecompositionTest, OverlapReplicatesBorders) {
+  Program P = shiftProgram();
+  // Blocks of 8 with one replicated element on each side (Section 2.2.1's
+  // stencil border replication).
+  Decomposition D = blockData(P, 0, 0, 8, /*OverlapLo=*/1, /*OverlapHi=*/1);
+  EXPECT_FALSE(D.isUnique());
+  EXPECT_TRUE(D.owns({8, 0, 100}, {1}));
+  EXPECT_TRUE(D.owns({8, 0, 100}, {0})); // border also on processor 0
+  EXPECT_TRUE(D.owns({7, 0, 100}, {1})); // and below
+  EXPECT_FALSE(D.owns({6, 0, 100}, {1}));
+}
+
+TEST(DecompositionTest, ReplicatedData) {
+  Program P = shiftProgram();
+  Decomposition D = replicatedData(P, 0);
+  EXPECT_FALSE(D.isUnique());
+  EXPECT_TRUE(D.owns({5, 0, 100}, {0}));
+  EXPECT_TRUE(D.owns({5, 0, 100}, {17}));
+}
+
+TEST(DecompositionTest, CyclicComputation) {
+  Program P = shiftProgram();
+  // Iterations of the i loop (position 1) distributed cyclically over a
+  // virtual grid: iteration (t, i) runs on virtual processor i.
+  Decomposition C = cyclicComputation(P, 0, 1);
+  EXPECT_TRUE(C.isUnique());
+  // Source vals: (t, i, T, N).
+  EXPECT_EQ(C.gridCoordinate({0, 7, 3, 100})[0], 7);
+}
+
+TEST(DecompositionTest, BlockComputationConstraints) {
+  Program P = shiftProgram();
+  Decomposition C = blockComputation(P, 0, 1, 32);
+  // Build the computation-set system of Section 5.3: (p, t, i, params).
+  Space Sp;
+  unsigned PV = Sp.add("p", VarKind::Proc);
+  Sp.add("t", VarKind::Loop);
+  Sp.add("i", VarKind::Loop);
+  Sp.add("T", VarKind::Param);
+  Sp.add("N", VarKind::Param);
+  System S(std::move(Sp));
+  C.addConstraintsByName(S, {PV});
+  // (p, t, i, T, N): processor p executes iteration i iff
+  // 32p <= i <= 32p + 31.
+  EXPECT_TRUE(S.holds({0, 0, 3, 9, 100}));
+  EXPECT_TRUE(S.holds({1, 0, 32, 9, 100}));
+  EXPECT_FALSE(S.holds({0, 0, 32, 9, 100}));
+  EXPECT_FALSE(S.holds({2, 0, 32, 9, 100}));
+}
+
+TEST(DecompositionTest, OwnerComputesTheorem1) {
+  // LU: X distributed cyclically by rows; the owner-computes rule places
+  // iteration (i1, i2[, i3]) on the owner of row i2.
+  Program P = parseProgramOrDie(R"(
+param N;
+array X[N + 1][N + 1];
+for i1 = 0 to N {
+  for i2 = i1 + 1 to N {
+    X[i2][i1] = X[i2][i1] / X[i1][i1];
+    for i3 = i1 + 1 to N {
+      X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3];
+    }
+  }
+}
+)");
+  Decomposition D = cyclicData(P, 0, /*Dim=*/0); // by rows
+  Decomposition C0 = ownerComputes(P, 0, D);
+  Decomposition C1 = ownerComputes(P, 1, D);
+  EXPECT_TRUE(C0.isUnique());
+  // S0 writes X[i2][i1]: owner of row i2. Source vals: (i1, i2, N).
+  EXPECT_EQ(C0.gridCoordinate({2, 5, 8})[0], 5);
+  // S1 writes X[i2][i3]: also row i2. Source vals: (i1, i2, i3, N).
+  EXPECT_EQ(C1.gridCoordinate({2, 5, 7, 8})[0], 5);
+}
+
+TEST(DecompositionTest, SkewedDecomposition) {
+  // Figure 4(d)-style skewed blocks: blocks along i + j.
+  Program P = parseProgramOrDie(R"(
+param N;
+array A[N][N];
+for i = 0 to N - 1 {
+  for j = 0 to N - 1 {
+    A[i][j] = i;
+  }
+}
+)");
+  Space ASp = arraySourceSpace(P, 0);
+  Decomposition D(ASp, 1);
+  AffineExpr Skew = AffineExpr::var(ASp.size(), 0) +
+                    AffineExpr::var(ASp.size(), 1); // a0 + a1
+  D.setBlock(0, std::move(Skew), 4);
+  // (a0, a1, N) = (3, 2, 8): a0 + a1 = 5 -> block 1.
+  EXPECT_EQ(D.gridCoordinate({3, 2, 8})[0], 1);
+  EXPECT_TRUE(D.owns({1, 2, 8}, {0}));
+}
+
+TEST(DecompositionTest, ShiftedDecomposition) {
+  // Figure 4(c): blocks shifted right by one.
+  Program P = shiftProgram();
+  Space ASp = arraySourceSpace(P, 0);
+  Decomposition D(ASp, 1);
+  D.setBlock(0, AffineExpr::var(ASp.size(), 0).plusConst(-1), 8);
+  EXPECT_EQ(D.gridCoordinate({0, 0, 100})[0], -1); // before the shift
+  EXPECT_EQ(D.gridCoordinate({1, 0, 100})[0], 0);
+  EXPECT_EQ(D.gridCoordinate({8, 0, 100})[0], 0);
+  EXPECT_EQ(D.gridCoordinate({9, 0, 100})[0], 1);
+}
+
+TEST(DecompositionTest, CyclicFoldConstraints) {
+  // pi: virtual processor 13 on a 4-processor machine is physical 1.
+  Space Sp;
+  unsigned V = Sp.add("v", VarKind::Proc);
+  unsigned Ph = Sp.add("ph", VarKind::Proc);
+  System S(std::move(Sp));
+  addCyclicFold(S, V, Ph, 4);
+  System Pinned = S;
+  Pinned.addEQ(Pinned.varExpr(V).plusConst(-13));
+  Pinned.addEQ(Pinned.varExpr(Ph).plusConst(-1));
+  EXPECT_EQ(Pinned.checkIntegerFeasible(), Feasibility::Feasible);
+  System Wrong = S;
+  Wrong.addEQ(Wrong.varExpr(V).plusConst(-13));
+  Wrong.addEQ(Wrong.varExpr(Ph).plusConst(-2));
+  EXPECT_EQ(Wrong.checkIntegerFeasible(), Feasibility::Empty);
+}
+
+TEST(DecompositionTest, TwoDimensionalGrid) {
+  // Square blocks on a 2-D grid (Figure 4, top right).
+  Program P = parseProgramOrDie(R"(
+param N;
+array A[N][N];
+for i = 0 to N - 1 {
+  for j = 0 to N - 1 {
+    A[i][j] = i;
+  }
+}
+)");
+  Space ASp = arraySourceSpace(P, 0);
+  Decomposition D(ASp, 2);
+  D.setBlock(0, AffineExpr::var(ASp.size(), 0), 4);
+  D.setBlock(1, AffineExpr::var(ASp.size(), 1), 4);
+  std::vector<IntT> C = D.gridCoordinate({5, 11, 16});
+  ASSERT_EQ(C.size(), 2u);
+  EXPECT_EQ(C[0], 1);
+  EXPECT_EQ(C[1], 2);
+}

@@ -1,0 +1,97 @@
+//===- tests/frontend/LexerTest.cpp ---------------------------*- C++ -*-===//
+
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmcc;
+
+namespace {
+
+std::vector<TokKind> kindsOf(const std::string &Src) {
+  std::vector<TokKind> Out;
+  for (const Token &T : tokenize(Src))
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+} // namespace
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto Toks = tokenize("param array for to min max foo param2");
+  ASSERT_EQ(Toks.size(), 9u); // incl. Eof
+  EXPECT_EQ(Toks[0].Kind, TokKind::KwParam);
+  EXPECT_EQ(Toks[1].Kind, TokKind::KwArray);
+  EXPECT_EQ(Toks[2].Kind, TokKind::KwFor);
+  EXPECT_EQ(Toks[3].Kind, TokKind::KwTo);
+  EXPECT_EQ(Toks[4].Kind, TokKind::KwMin);
+  EXPECT_EQ(Toks[5].Kind, TokKind::KwMax);
+  EXPECT_EQ(Toks[6].Kind, TokKind::Ident);
+  EXPECT_EQ(Toks[6].Text, "foo");
+  EXPECT_EQ(Toks[7].Kind, TokKind::Ident); // param2 is not a keyword
+  EXPECT_EQ(Toks[8].Kind, TokKind::Eof);
+}
+
+TEST(LexerTest, NumbersIntegerAndFloat) {
+  auto Toks = tokenize("42 3.25 0 007");
+  ASSERT_GE(Toks.size(), 5u);
+  EXPECT_EQ(Toks[0].Kind, TokKind::Integer);
+  EXPECT_EQ(Toks[0].IntVal, 42);
+  EXPECT_EQ(Toks[1].Kind, TokKind::Float);
+  EXPECT_DOUBLE_EQ(Toks[1].FloatVal, 3.25);
+  EXPECT_EQ(Toks[2].IntVal, 0);
+  EXPECT_EQ(Toks[3].IntVal, 7);
+}
+
+TEST(LexerTest, PunctuationAndOperators) {
+  EXPECT_EQ(kindsOf("{ } [ ] ( ) , ; = + - * /"),
+            (std::vector<TokKind>{
+                TokKind::LBrace, TokKind::RBrace, TokKind::LBracket,
+                TokKind::RBracket, TokKind::LParen, TokKind::RParen,
+                TokKind::Comma, TokKind::Semi, TokKind::Assign,
+                TokKind::Plus, TokKind::Minus, TokKind::Star,
+                TokKind::Slash, TokKind::Eof}));
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto Toks = tokenize("a # whole line\nb // also\nc");
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Text, "a");
+  EXPECT_EQ(Toks[1].Text, "b");
+  EXPECT_EQ(Toks[2].Text, "c");
+}
+
+TEST(LexerTest, LineNumbersTrackNewlines) {
+  auto Toks = tokenize("a\nb\n\nc");
+  EXPECT_EQ(Toks[0].Line, 1u);
+  EXPECT_EQ(Toks[1].Line, 2u);
+  EXPECT_EQ(Toks[2].Line, 4u);
+}
+
+TEST(LexerTest, SlashVsComment) {
+  auto Toks = tokenize("a / b // c");
+  ASSERT_EQ(Toks.size(), 4u); // a, /, b, Eof
+  EXPECT_EQ(Toks[1].Kind, TokKind::Slash);
+}
+
+TEST(LexerTest, ErrorTokenOnGarbage) {
+  auto Toks = tokenize("a $ b");
+  bool SawError = false;
+  for (const Token &T : Toks)
+    if (T.Kind == TokKind::Error)
+      SawError = true;
+  EXPECT_TRUE(SawError);
+  EXPECT_EQ(Toks.back().Kind, TokKind::Eof);
+}
+
+TEST(LexerTest, TokKindNamesCovered) {
+  for (TokKind K :
+       {TokKind::Eof, TokKind::Ident, TokKind::Integer, TokKind::Float,
+        TokKind::KwParam, TokKind::KwArray, TokKind::KwFor, TokKind::KwTo,
+        TokKind::KwMin, TokKind::KwMax, TokKind::LBrace, TokKind::RBrace,
+        TokKind::LBracket, TokKind::RBracket, TokKind::LParen,
+        TokKind::RParen, TokKind::Comma, TokKind::Semi, TokKind::Assign,
+        TokKind::Plus, TokKind::Minus, TokKind::Star, TokKind::Slash,
+        TokKind::Error})
+    EXPECT_STRNE(tokKindName(K), "?");
+}

@@ -1,0 +1,105 @@
+//===- tests/integration/FailureModeTest.cpp ------------------*- C++ -*-===//
+//
+// Failure injection: hard errors must be loud (abort with a diagnostic),
+// never silent corruption. Uses gtest death tests.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "math/LexOpt.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmcc;
+
+namespace {
+
+Program shift() {
+  return parseProgramOrDie(R"(
+param T;
+param N;
+array X[N + 1];
+for t = 0 to T {
+  for i = 3 to N {
+    X[i] = X[i - 3];
+  }
+}
+)");
+}
+
+} // namespace
+
+TEST(FailureModeTest, UnboundedLexMaxAborts) {
+  // max i subject to i >= 0 only: no upper bound.
+  Space Sp;
+  Sp.add("i", VarKind::Loop);
+  System S(std::move(Sp));
+  S.addGE(S.varExpr(0));
+  EXPECT_DEATH(lexMax(S, {0}), "unbounded");
+}
+
+TEST(FailureModeTest, LocalityViolationAborts) {
+  // Strip the initial-data layout the program relies on: processors
+  // read boundary values they never owned nor received. The simulator
+  // must abort with a locality diagnostic, not fabricate data.
+  Program P = shift();
+  CompileSpec Spec;
+  Spec.Stmts.push_back(StmtPlan{0, blockComputation(P, 0, 1, 8)});
+  Spec.InitialData.emplace(0, blockData(P, 0, 0, 8));
+  Spec.FinalData.emplace(0, blockData(P, 0, 0, 8));
+  CompiledProgram CP = compile(P, Spec);
+
+  // Sabotage: pretend a different (shifted) initial ownership at
+  // simulation time, so the compiled communication no longer matches.
+  CompileSpec Lying = Spec;
+  Lying.InitialData.clear();
+  Space ASp = arraySourceSpace(P, 0);
+  Decomposition Shifted(ASp, 1);
+  Shifted.setBlock(0, AffineExpr::var(ASp.size(), 0).plusConst(-17), 8);
+  Lying.InitialData.emplace(0, Shifted);
+
+  SimOptions SO;
+  SO.PhysGrid = {2};
+  SO.ParamValues = {{"T", 2}, {"N", 31}};
+  SO.Functional = true;
+  EXPECT_DEATH(
+      {
+        Simulator Sim(P, CP, Lying, SO);
+        (void)Sim.run();
+      },
+      "locality violation");
+}
+
+TEST(FailureModeTest, MissingParameterAborts) {
+  Program P = shift();
+  CompileSpec Spec;
+  Spec.Stmts.push_back(StmtPlan{0, blockComputation(P, 0, 1, 8)});
+  Spec.InitialData.emplace(0, blockData(P, 0, 0, 8));
+  Spec.FinalData.emplace(0, blockData(P, 0, 0, 8));
+  CompiledProgram CP = compile(P, Spec);
+  SimOptions SO;
+  SO.PhysGrid = {2};
+  SO.ParamValues = {{"T", 2}}; // N missing
+  EXPECT_DEATH(Simulator(P, CP, Spec, SO), "parameter");
+}
+
+TEST(FailureModeTest, MissingInitialLayoutAborts) {
+  Program P = parseProgramOrDie(R"(
+param N;
+array A[N + 1];
+array B[N + 1];
+for i = 0 to N {
+  A[i] = B[i];
+}
+)");
+  CompileSpec Spec;
+  Spec.Stmts.push_back(StmtPlan{0, blockComputation(P, 0, 0, 4)});
+  Spec.InitialData.emplace(0, blockData(P, 0, 0, 4));
+  // B (read before written) has no layout.
+  EXPECT_DEATH(compile(P, Spec), "initial data decomposition");
+}
+
+TEST(FailureModeTest, ParseErrorsAreDiagnosed) {
+  EXPECT_DEATH(parseProgramOrDie("for i = 0 to N { }"), "parse failed");
+}

@@ -1,0 +1,143 @@
+//===- tests/ir/ProgramTest.cpp -------------------------------*- C++ -*-===//
+
+#include "frontend/Parser.h"
+#include "ir/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmcc;
+
+namespace {
+
+const char *LUSource = R"(
+param N;
+array X[N + 1][N + 1];
+for i1 = 0 to N {
+  for i2 = i1 + 1 to N {
+    X[i2][i1] = X[i2][i1] / X[i1][i1];
+    for i3 = i1 + 1 to N {
+      X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3];
+    }
+  }
+}
+)";
+
+} // namespace
+
+TEST(ProgramTest, LUStructure) {
+  Program P = parseProgramOrDie(LUSource);
+  EXPECT_EQ(P.numLoops(), 3u);
+  EXPECT_EQ(P.numStatements(), 2u);
+  EXPECT_EQ(P.numArrays(), 1u);
+  const Statement &S1 = P.statement(0);
+  const Statement &S2 = P.statement(1);
+  EXPECT_EQ(S1.depth(), 2u);
+  EXPECT_EQ(S2.depth(), 3u);
+  EXPECT_EQ(S1.Reads.size(), 2u);
+  EXPECT_EQ(S2.Reads.size(), 3u);
+  EXPECT_EQ(P.commonLoopDepth(0, 1), 2u);
+  EXPECT_TRUE(P.precedesTextually(0, 1));
+  EXPECT_FALSE(P.precedesTextually(1, 0));
+}
+
+TEST(ProgramTest, LUDomain) {
+  Program P = parseProgramOrDie(LUSource);
+  // S2's domain: 0 <= i1 <= N, i1+1 <= i2 <= N, i1+1 <= i3 <= N.
+  System D = P.domainOf(1);
+  EXPECT_EQ(D.numVars(), 4u); // i1, i2, i3, N
+  EXPECT_TRUE(D.holds({0, 1, 1, 4}));
+  EXPECT_TRUE(D.holds({2, 3, 4, 4}));
+  EXPECT_FALSE(D.holds({2, 2, 4, 4}));  // i2 <= i1
+  EXPECT_FALSE(D.holds({0, 1, 5, 4})); // i3 > N
+  // Count points for N = 3: sum over i1 of (N-i1)^2 = 9 + 4 + 1 = 14.
+  System Pinned = D;
+  Pinned.addEQ(Pinned.varExpr(3).plusConst(-3));
+  unsigned Count = 0;
+  Pinned.enumeratePoints([&](const std::vector<IntT> &) { ++Count; });
+  EXPECT_EQ(Count, 14u);
+}
+
+TEST(ProgramTest, ImperfectNestPaths) {
+  Program P = parseProgramOrDie(R"(
+param N;
+array A[N];
+array B[N];
+for i = 0 to N - 1 {
+  A[i] = 1;
+}
+for j = 0 to N - 1 {
+  B[j] = A[j];
+  A[j] = 2;
+}
+)");
+  ASSERT_EQ(P.numStatements(), 3u);
+  EXPECT_EQ(P.commonLoopDepth(0, 1), 0u);
+  EXPECT_EQ(P.commonLoopDepth(1, 2), 1u);
+  EXPECT_TRUE(P.precedesTextually(0, 1));
+  EXPECT_TRUE(P.precedesTextually(1, 2));
+  EXPECT_TRUE(P.precedesTextually(0, 2));
+}
+
+TEST(ProgramTest, LoopNameUniquification) {
+  Program P = parseProgramOrDie(R"(
+param N;
+array A[N];
+for i = 0 to N - 1 { A[i] = 1; }
+for i = 0 to N - 1 { A[i] = 2; }
+)");
+  EXPECT_EQ(P.numLoops(), 2u);
+  // Both loops got distinct space names.
+  EXPECT_NE(P.space().name(P.loop(0).VarIndex),
+            P.space().name(P.loop(1).VarIndex));
+}
+
+TEST(ProgramTest, MinMaxBounds) {
+  Program P = parseProgramOrDie(R"(
+param N;
+param M;
+array A[N + M];
+for i = max(0, M - 4) to min(N, M) {
+  A[i] = i;
+}
+)");
+  const Loop &L = P.loop(0);
+  EXPECT_EQ(L.Lower.size(), 2u);
+  EXPECT_EQ(L.Upper.size(), 2u);
+}
+
+TEST(ProgramTest, PrettyPrintRoundTrips) {
+  Program P = parseProgramOrDie(LUSource);
+  std::string Text = P.str();
+  // The printed program must re-parse to an equivalent structure.
+  Program P2 = parseProgramOrDie(Text);
+  EXPECT_EQ(P2.numLoops(), P.numLoops());
+  EXPECT_EQ(P2.numStatements(), P.numStatements());
+  EXPECT_EQ(P2.str(), Text);
+}
+
+TEST(ProgramTest, ParseErrors) {
+  EXPECT_FALSE(parseProgram("for i = 0 to N { }").ok()); // unknown N
+  EXPECT_FALSE(parseProgram("param N; array A[N]; A[0] = B[0];").ok());
+  EXPECT_FALSE(parseProgram("param N; array A[N]; A[i] = 1;").ok());
+  EXPECT_FALSE(
+      parseProgram("param N; array A[N]; for i = 0 to i { A[i] = 1; }")
+          .ok()); // self-referential bound
+  EXPECT_FALSE(parseProgram("param N; array A[N*N]; "
+                            "for i = 0 to N { A[i*i] = 1; }")
+                   .ok()); // non-linear subscript
+  ParseOutput Bad = parseProgram("param N; $");
+  EXPECT_FALSE(Bad.ok());
+  EXPECT_FALSE(Bad.Error.empty());
+}
+
+TEST(ProgramTest, ParamDefaults) {
+  ParseOutput Out = parseProgram(R"(
+param N = 64;
+param M = -3;
+array A[N];
+for i = 0 to N - 1 { A[i] = 1; }
+)");
+  ASSERT_TRUE(Out.ok());
+  EXPECT_EQ(Out.ParamDefaults.at("N"), 64);
+  EXPECT_EQ(Out.ParamDefaults.at("M"), -3);
+}

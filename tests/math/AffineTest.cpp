@@ -1,0 +1,140 @@
+//===- tests/math/AffineTest.cpp ------------------------------*- C++ -*-===//
+
+#include "math/Affine.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmcc;
+
+namespace {
+
+Space twoVarSpace() {
+  Space Sp;
+  Sp.add("i", VarKind::Loop);
+  Sp.add("j", VarKind::Loop);
+  return Sp;
+}
+
+} // namespace
+
+TEST(AffineTest, Construction) {
+  AffineExpr Z(3);
+  EXPECT_TRUE(Z.isZero());
+  AffineExpr C = AffineExpr::constant(3, 7);
+  EXPECT_TRUE(C.isConstant());
+  EXPECT_EQ(C.constant(), 7);
+  AffineExpr V = AffineExpr::var(3, 1, 2);
+  EXPECT_EQ(V.coeff(1), 2);
+  EXPECT_FALSE(V.isConstant());
+}
+
+TEST(AffineTest, Arithmetic) {
+  AffineExpr A = AffineExpr::var(2, 0, 2).plusConst(3); // 2i + 3
+  AffineExpr B = AffineExpr::var(2, 1, -1).plusConst(1); // -j + 1
+  AffineExpr S = A + B; // 2i - j + 4
+  EXPECT_EQ(S.coeff(0), 2);
+  EXPECT_EQ(S.coeff(1), -1);
+  EXPECT_EQ(S.constant(), 4);
+  AffineExpr D = A - B; // 2i + j + 2
+  EXPECT_EQ(D.coeff(1), 1);
+  EXPECT_EQ(D.constant(), 2);
+  AffineExpr N = A.negated();
+  EXPECT_EQ(N.coeff(0), -2);
+  EXPECT_EQ(N.constant(), -3);
+  AffineExpr Sc = A;
+  Sc.scale(3);
+  EXPECT_EQ(Sc.coeff(0), 6);
+  EXPECT_EQ(Sc.constant(), 9);
+}
+
+TEST(AffineTest, Evaluate) {
+  // 2i - j + 4 at (i, j) = (5, 3) is 11.
+  AffineExpr E = AffineExpr::var(2, 0, 2);
+  E += AffineExpr::var(2, 1, -1);
+  E = E.plusConst(4);
+  EXPECT_EQ(E.evaluate({5, 3}), 11);
+}
+
+TEST(AffineTest, Substitute) {
+  // E = 3i + j; substitute i := j + 2 gives 4j + 6.
+  AffineExpr E = AffineExpr::var(2, 0, 3) + AffineExpr::var(2, 1);
+  AffineExpr Repl = AffineExpr::var(2, 1).plusConst(2);
+  E.substitute(0, Repl);
+  EXPECT_EQ(E.coeff(0), 0);
+  EXPECT_EQ(E.coeff(1), 4);
+  EXPECT_EQ(E.constant(), 6);
+}
+
+TEST(AffineTest, AppendRemoveVar) {
+  AffineExpr E = AffineExpr::var(2, 0, 5);
+  E.appendVar();
+  EXPECT_EQ(E.size(), 3u);
+  EXPECT_EQ(E.coeff(2), 0);
+  E.removeVar(1);
+  EXPECT_EQ(E.size(), 2u);
+  EXPECT_EQ(E.coeff(0), 5);
+}
+
+TEST(AffineTest, GcdAndDivExact) {
+  AffineExpr E = AffineExpr::var(2, 0, 6) + AffineExpr::var(2, 1, -9);
+  EXPECT_EQ(E.coeffGcd(), 3);
+  AffineExpr F = E;
+  F = F.plusConst(12);
+  F.divExact(3);
+  EXPECT_EQ(F.coeff(0), 2);
+  EXPECT_EQ(F.coeff(1), -3);
+  EXPECT_EQ(F.constant(), 4);
+}
+
+TEST(AffineTest, FirstVar) {
+  AffineExpr E(3);
+  unsigned Idx = 99;
+  EXPECT_FALSE(E.firstVar(Idx));
+  E.coeff(2) = -4;
+  EXPECT_TRUE(E.firstVar(Idx));
+  EXPECT_EQ(Idx, 2u);
+}
+
+TEST(AffineTest, Str) {
+  Space Sp = twoVarSpace();
+  AffineExpr E = AffineExpr::var(2, 0, 2) + AffineExpr::var(2, 1, -1);
+  E = E.plusConst(-3);
+  EXPECT_EQ(E.str(Sp), "2*i - j - 3");
+  EXPECT_EQ(AffineExpr(2).str(Sp), "0");
+  EXPECT_EQ(AffineExpr::constant(2, -5).str(Sp), "-5");
+  EXPECT_EQ(AffineExpr::var(2, 1).str(Sp), "j");
+}
+
+TEST(AffineTest, ConstraintHolds) {
+  // i - j >= 0.
+  Constraint C = Constraint::ge(AffineExpr::var(2, 0) -
+                                AffineExpr::var(2, 1));
+  EXPECT_TRUE(C.holds({3, 2}));
+  EXPECT_TRUE(C.holds({2, 2}));
+  EXPECT_FALSE(C.holds({1, 2}));
+  Constraint E = Constraint::eq(AffineExpr::var(2, 0) -
+                                AffineExpr::var(2, 1));
+  EXPECT_TRUE(E.holds({2, 2}));
+  EXPECT_FALSE(E.holds({3, 2}));
+}
+
+TEST(AffineTest, ConstraintStr) {
+  Space Sp = twoVarSpace();
+  Constraint C = Constraint::ge(AffineExpr::var(2, 0).plusConst(-3));
+  EXPECT_EQ(C.str(Sp), "i - 3 >= 0");
+  Constraint E = Constraint::eq(AffineExpr::var(2, 1));
+  EXPECT_EQ(E.str(Sp), "j == 0");
+}
+
+TEST(AffineTest, CheckedOps) {
+  EXPECT_EQ(gcdInt(12, -18), 6);
+  EXPECT_EQ(gcdInt(0, 5), 5);
+  EXPECT_EQ(gcdInt(0, 0), 0);
+  EXPECT_EQ(lcmInt(4, 6), 12);
+  EXPECT_EQ(floorDiv(7, 2), 3);
+  EXPECT_EQ(floorDiv(-7, 2), -4);
+  EXPECT_EQ(ceilDiv(7, 2), 4);
+  EXPECT_EQ(ceilDiv(-7, 2), -3);
+  EXPECT_EQ(floorMod(-7, 3), 2);
+  EXPECT_EQ(floorMod(7, 3), 1);
+}

@@ -1,0 +1,82 @@
+//===- tests/math/SpaceTest.cpp -------------------------------*- C++ -*-===//
+
+#include "math/Space.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmcc;
+
+TEST(SpaceTest, AddAndLookup) {
+  Space Sp;
+  EXPECT_EQ(Sp.size(), 0u);
+  unsigned I = Sp.add("i", VarKind::Loop);
+  unsigned N = Sp.add("N", VarKind::Param);
+  EXPECT_EQ(I, 0u);
+  EXPECT_EQ(N, 1u);
+  EXPECT_EQ(Sp.indexOf("i"), 0);
+  EXPECT_EQ(Sp.indexOf("N"), 1);
+  EXPECT_EQ(Sp.indexOf("j"), -1);
+  EXPECT_TRUE(Sp.contains("i"));
+  EXPECT_FALSE(Sp.contains("j"));
+  EXPECT_EQ(Sp.name(0), "i");
+  EXPECT_EQ(Sp.kind(1), VarKind::Param);
+}
+
+TEST(SpaceTest, Remove) {
+  Space Sp;
+  Sp.add("a", VarKind::Loop);
+  Sp.add("b", VarKind::Loop);
+  Sp.add("c", VarKind::Loop);
+  Sp.remove(1);
+  EXPECT_EQ(Sp.size(), 2u);
+  EXPECT_EQ(Sp.indexOf("a"), 0);
+  EXPECT_EQ(Sp.indexOf("c"), 1);
+  EXPECT_EQ(Sp.indexOf("b"), -1);
+}
+
+TEST(SpaceTest, IndicesOfKind) {
+  Space Sp;
+  Sp.add("i", VarKind::Loop);
+  Sp.add("N", VarKind::Param);
+  Sp.add("j", VarKind::Loop);
+  Sp.add("q", VarKind::Aux);
+  std::vector<unsigned> Loops = Sp.indicesOfKind(VarKind::Loop);
+  ASSERT_EQ(Loops.size(), 2u);
+  EXPECT_EQ(Loops[0], 0u);
+  EXPECT_EQ(Loops[1], 2u);
+  EXPECT_EQ(Sp.indicesOfKind(VarKind::Aux).size(), 1u);
+  EXPECT_TRUE(Sp.indicesOfKind(VarKind::Proc).empty());
+}
+
+TEST(SpaceTest, FreshNameAvoidsCollisions) {
+  Space Sp;
+  Sp.add("q", VarKind::Aux);
+  std::string F = Sp.freshName("q");
+  EXPECT_NE(F, "q");
+  EXPECT_FALSE(Sp.contains(F));
+  EXPECT_EQ(Sp.freshName("r"), "r");
+}
+
+TEST(SpaceTest, Equality) {
+  Space A, B;
+  A.add("i", VarKind::Loop);
+  B.add("i", VarKind::Loop);
+  EXPECT_EQ(A, B);
+  B.add("j", VarKind::Loop);
+  EXPECT_NE(A, B);
+}
+
+TEST(SpaceTest, Str) {
+  Space Sp;
+  Sp.add("i", VarKind::Loop);
+  Sp.add("N", VarKind::Param);
+  EXPECT_EQ(Sp.str(), "[i, N]");
+}
+
+TEST(SpaceTest, VarKindNames) {
+  EXPECT_STREQ(varKindName(VarKind::Loop), "loop");
+  EXPECT_STREQ(varKindName(VarKind::Param), "param");
+  EXPECT_STREQ(varKindName(VarKind::Proc), "proc");
+  EXPECT_STREQ(varKindName(VarKind::Data), "data");
+  EXPECT_STREQ(varKindName(VarKind::Aux), "aux");
+}

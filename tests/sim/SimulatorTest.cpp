@@ -1,0 +1,188 @@
+//===- tests/sim/SimulatorTest.cpp ----------------------------*- C++ -*-===//
+//
+// Machine-simulator behaviours beyond the end-to-end runs: deadlock
+// detection, cost-model knobs, intra-physical folding, virtual-grid
+// sizing, and failure injection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmcc;
+
+namespace {
+
+Program shift() {
+  return parseProgramOrDie(R"(
+param T;
+param N;
+array X[N + 1];
+for t = 0 to T {
+  for i = 3 to N {
+    X[i] = X[i - 3];
+  }
+}
+)");
+}
+
+CompileSpec shiftSpec(const Program &P, IntT Block) {
+  CompileSpec Spec;
+  Spec.Stmts.push_back(StmtPlan{0, blockComputation(P, 0, 1, Block)});
+  Spec.InitialData.emplace(0, blockData(P, 0, 0, Block));
+  Spec.FinalData.emplace(0, blockData(P, 0, 0, Block));
+  return Spec;
+}
+
+SimOptions opts(IntT Procs, std::map<std::string, IntT> Params,
+                bool Functional = false) {
+  SimOptions SO;
+  SO.PhysGrid = {Procs};
+  SO.ParamValues = std::move(Params);
+  SO.Functional = Functional;
+  SO.CollapseLoops = !Functional;
+  return SO;
+}
+
+} // namespace
+
+TEST(SimulatorTest, VirtualGridMatchesDecomposition) {
+  Program P = shift();
+  CompileSpec Spec = shiftSpec(P, 8);
+  CompiledProgram CP = compile(P, Spec);
+  Simulator Sim(P, CP, Spec, opts(2, {{"T", 2}, {"N", 63}}));
+  // Elements 0..63 in blocks of 8: virtual processors 0..7.
+  EXPECT_EQ(Sim.virtGridLo()[0], 0);
+  EXPECT_EQ(Sim.virtGridHi()[0], 7);
+}
+
+TEST(SimulatorTest, DeadlockIsDetectedNotHung) {
+  // Sabotage a compiled program: make one receive wait for a message
+  // that is never sent by pointing its peer at a non-existent sender.
+  Program P = shift();
+  CompileSpec Spec = shiftSpec(P, 8);
+  CompiledProgram CP = compile(P, Spec);
+  bool Broke = false;
+  std::function<void(std::vector<SpmdStmt> &)> Break =
+      [&](std::vector<SpmdStmt> &Stmts) {
+        for (SpmdStmt &S : Stmts) {
+          if (S.K == SpmdStmt::Kind::Recv) {
+            for (AffineExpr &E : S.Peer)
+              E = E.plusConst(1000); // nobody sends from there
+            Broke = true;
+          }
+          Break(S.Body);
+        }
+      };
+  Break(CP.Spmd.Top);
+  ASSERT_TRUE(Broke);
+  Simulator Sim(P, CP, Spec, opts(2, {{"T", 2}, {"N", 63}}));
+  SimResult R = Sim.run();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("deadlock"), std::string::npos) << R.Error;
+}
+
+TEST(SimulatorTest, UnconsumedMessagesAreReported) {
+  // Dual sabotage: drop a receive entirely; its message stays queued.
+  Program P = shift();
+  CompileSpec Spec = shiftSpec(P, 8);
+  CompiledProgram CP = compile(P, Spec);
+  bool Broke = false;
+  std::function<void(std::vector<SpmdStmt> &)> Break =
+      [&](std::vector<SpmdStmt> &Stmts) {
+        for (unsigned I = 0; I < Stmts.size();) {
+          if (Stmts[I].K == SpmdStmt::Kind::Recv) {
+            Stmts.erase(Stmts.begin() + I);
+            Broke = true;
+            continue;
+          }
+          Break(Stmts[I].Body);
+          ++I;
+        }
+      };
+  Break(CP.Spmd.Top);
+  ASSERT_TRUE(Broke);
+  Simulator Sim(P, CP, Spec, opts(2, {{"T", 2}, {"N", 63}}));
+  SimResult R = Sim.run();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("unconsumed"), std::string::npos) << R.Error;
+}
+
+TEST(SimulatorTest, SingleProcessorHasNoNetworkTraffic) {
+  Program P = shift();
+  CompileSpec Spec = shiftSpec(P, 8);
+  CompiledProgram CP = compile(P, Spec);
+  Simulator Sim(P, CP, Spec, opts(1, {{"T", 2}, {"N", 63}}));
+  SimResult R = Sim.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Messages, 0u);
+  EXPECT_EQ(R.Words, 0u);
+  EXPECT_GT(R.IntraMessages, 0u); // folded messages still delivered
+}
+
+TEST(SimulatorTest, IntraPhysicalChargingToggle) {
+  Program P = shift();
+  CompileSpec Spec = shiftSpec(P, 8);
+  CompiledProgram CP = compile(P, Spec);
+  SimOptions Free = opts(1, {{"T", 2}, {"N", 63}});
+  SimOptions Charged = Free;
+  Charged.FreeIntraPhysical = false;
+  SimResult RF = Simulator(P, CP, Spec, Free).run();
+  SimResult RC = Simulator(P, CP, Spec, Charged).run();
+  ASSERT_TRUE(RF.Ok && RC.Ok);
+  EXPECT_EQ(RF.Messages, 0u);
+  EXPECT_GT(RC.Messages, 0u); // same transfers, now billed
+  EXPECT_GT(RC.MakespanSeconds, RF.MakespanSeconds);
+}
+
+TEST(SimulatorTest, CostModelScalesMakespan) {
+  Program P = shift();
+  CompileSpec Spec = shiftSpec(P, 8);
+  CompiledProgram CP = compile(P, Spec);
+  SimOptions Slow = opts(4, {{"T", 8}, {"N", 255}});
+  SimOptions Fast = Slow;
+  Fast.Cost.FlopTime = Slow.Cost.FlopTime / 10;
+  Fast.Cost.MsgLatency = Slow.Cost.MsgLatency / 10;
+  Fast.Cost.SendPerWord = Slow.Cost.SendPerWord / 10;
+  Fast.Cost.RecvPerWord = Slow.Cost.RecvPerWord / 10;
+  Fast.Cost.WireTimePerWord = Slow.Cost.WireTimePerWord / 10;
+  Fast.Cost.IterOverhead = Slow.Cost.IterOverhead / 10;
+  SimResult RS = Simulator(P, CP, Spec, Slow).run();
+  SimResult RF = Simulator(P, CP, Spec, Fast).run();
+  ASSERT_TRUE(RS.Ok && RF.Ok);
+  EXPECT_NEAR(RS.MakespanSeconds / RF.MakespanSeconds, 10.0, 0.5);
+  // Counters are cost-model independent.
+  EXPECT_EQ(RS.Messages, RF.Messages);
+  EXPECT_EQ(RS.Words, RF.Words);
+  EXPECT_EQ(RS.Flops, RF.Flops);
+}
+
+TEST(SimulatorTest, PerfAndFunctionalCountersAgreeOnLargerRun) {
+  Program P = shift();
+  CompileSpec Spec = shiftSpec(P, 16);
+  CompiledProgram CP = compile(P, Spec);
+  SimResult RF =
+      Simulator(P, CP, Spec, opts(4, {{"T", 5}, {"N", 127}}, true)).run();
+  SimResult RP =
+      Simulator(P, CP, Spec, opts(4, {{"T", 5}, {"N", 127}}, false)).run();
+  ASSERT_TRUE(RF.Ok && RP.Ok);
+  EXPECT_EQ(RF.Messages, RP.Messages);
+  EXPECT_EQ(RF.Words, RP.Words);
+  EXPECT_EQ(RF.ComputeIterations, RP.ComputeIterations);
+}
+
+TEST(SimulatorTest, BusyTimeNeverExceedsMakespan) {
+  Program P = shift();
+  CompileSpec Spec = shiftSpec(P, 8);
+  CompiledProgram CP = compile(P, Spec);
+  SimResult R =
+      Simulator(P, CP, Spec, opts(4, {{"T", 6}, {"N", 255}})).run();
+  ASSERT_TRUE(R.Ok);
+  ASSERT_EQ(R.PhysBusy.size(), 4u);
+  for (double B : R.PhysBusy) {
+    EXPECT_GE(B, 0.0);
+    EXPECT_LE(B, R.MakespanSeconds * (1 + 1e-9));
+  }
+}

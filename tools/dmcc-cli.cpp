@@ -1,0 +1,210 @@
+//===- tools/dmcc-cli.cpp - Command-line compiler driver -------*- C++ -*-===//
+//
+// The user-facing entry point: compile an annotated mini-language file
+// and inspect any stage of the pipeline, or run the result on the
+// simulated machine.
+//
+//   dmcc-cli FILE [options]
+//     --print-program        echo the parsed program
+//     --print-lwt            Last Write Trees for every read access
+//     --print-comm           optimized communication sets
+//     --print-spmd           the generated SPMD program (default)
+//     --simulate P           run on P simulated processors
+//     --functional           simulate with real arithmetic and verify
+//                            against sequential execution
+//     --param NAME=VALUE     parameter binding (repeatable; defaults
+//                            from `param NAME = VALUE;` declarations)
+//     --no-self-reuse --no-group-reuse --no-multicast --no-aggressive
+//                            optimization ablations
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SpecParser.h"
+#include "dataflow/LastWriteTree.h"
+#include "ir/Interp.h"
+#include "sim/Simulator.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace dmcc;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s FILE [--print-program] [--print-lwt] "
+               "[--print-comm] [--print-spmd]\n"
+               "       [--simulate P] [--functional] [--param N=V]...\n"
+               "       [--no-self-reuse] [--no-group-reuse] "
+               "[--no-multicast] [--no-aggressive]\n",
+               Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage(Argv[0]);
+  const char *File = nullptr;
+  bool PrintProgram = false, PrintLWT = false, PrintComm = false;
+  bool PrintSpmd = false, Functional = false;
+  IntT SimProcs = 0;
+  CompilerOptions Opts;
+  std::map<std::string, IntT> Params;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strcmp(A, "--print-program") == 0)
+      PrintProgram = true;
+    else if (std::strcmp(A, "--print-lwt") == 0)
+      PrintLWT = true;
+    else if (std::strcmp(A, "--print-comm") == 0)
+      PrintComm = true;
+    else if (std::strcmp(A, "--print-spmd") == 0)
+      PrintSpmd = true;
+    else if (std::strcmp(A, "--functional") == 0)
+      Functional = true;
+    else if (std::strcmp(A, "--no-self-reuse") == 0)
+      Opts.EliminateSelfReuse = false;
+    else if (std::strcmp(A, "--no-group-reuse") == 0)
+      Opts.EliminateGroupReuse = false;
+    else if (std::strcmp(A, "--no-multicast") == 0)
+      Opts.DetectMulticast = false;
+    else if (std::strcmp(A, "--no-aggressive") == 0)
+      Opts.AggressiveAggregation = false;
+    else if (std::strcmp(A, "--simulate") == 0 && I + 1 < Argc)
+      SimProcs = std::atoll(Argv[++I]);
+    else if (std::strcmp(A, "--param") == 0 && I + 1 < Argc) {
+      const char *Eq = std::strchr(Argv[++I], '=');
+      if (!Eq) {
+        std::fprintf(stderr, "error: --param expects NAME=VALUE\n");
+        return 2;
+      }
+      Params[std::string(Argv[I], Eq - Argv[I])] = std::atoll(Eq + 1);
+    } else if (A[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", A);
+      return usage(Argv[0]);
+    } else if (!File) {
+      File = A;
+    } else {
+      return usage(Argv[0]);
+    }
+  }
+  if (!File)
+    return usage(Argv[0]);
+  if (!PrintProgram && !PrintLWT && !PrintComm && !SimProcs)
+    PrintSpmd = true;
+
+  std::ifstream In(File);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", File);
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  SpecParseOutput SP = parseWithSpec(Buf.str());
+  if (!SP.ok()) {
+    std::fprintf(stderr, "%s: error: %s\n", File, SP.Error.c_str());
+    return 1;
+  }
+  Program &P = *SP.Prog;
+  for (const auto &[Name, V] : SP.ParamDefaults)
+    Params.emplace(Name, V);
+
+  if (PrintProgram)
+    std::printf("%s\n", P.str().c_str());
+  if (PrintLWT) {
+    for (unsigned S = 0; S != P.numStatements(); ++S)
+      for (unsigned R = 0; R != P.statement(S).Reads.size(); ++R)
+        std::printf("%s\n", buildLWT(P, S, R).str(P).c_str());
+  }
+
+  CompiledProgram CP = compile(P, SP.Spec, Opts);
+  if (!CP.Diagnostics.empty())
+    std::fprintf(stderr, "%s", CP.Diagnostics.c_str());
+  if (PrintComm) {
+    for (const CommPlan &Pl : CP.Comms)
+      std::printf("[agg %u%s] %s\n", Pl.AggLevel,
+                  Pl.Multicast ? ", multicast" : "",
+                  Pl.Set.str().c_str());
+  }
+  if (PrintSpmd)
+    std::printf("%s", CP.Spmd.str().c_str());
+
+  if (SimProcs > 0) {
+    // Every program parameter needs a value.
+    for (unsigned I = 0; I != P.space().size(); ++I) {
+      if (P.space().kind(I) != VarKind::Param)
+        continue;
+      if (!Params.count(P.space().name(I))) {
+        std::fprintf(stderr,
+                     "error: parameter '%s' needs --param %s=VALUE\n",
+                     P.space().name(I).c_str(),
+                     P.space().name(I).c_str());
+        return 1;
+      }
+    }
+    SimOptions SO;
+    SO.PhysGrid = {SimProcs};
+    SO.ParamValues = Params;
+    SO.Functional = Functional;
+    SO.CollapseLoops = !Functional;
+    Simulator Sim(P, CP, SP.Spec, SO);
+    SimResult R = Sim.run();
+    if (!R.Ok) {
+      std::fprintf(stderr, "simulation failed: %s\n", R.Error.c_str());
+      return 1;
+    }
+    std::printf("simulated %lld processors: makespan %.6f s, %llu "
+                "messages, %llu words, %llu flops\n",
+                static_cast<long long>(SimProcs), R.MakespanSeconds,
+                static_cast<unsigned long long>(R.Messages),
+                static_cast<unsigned long long>(R.Words),
+                static_cast<unsigned long long>(R.Flops));
+    if (Functional) {
+      SeqInterpreter Gold(P, Params);
+      Gold.run();
+      unsigned Wrong = 0, Missing = 0, Checked = 0;
+      std::vector<IntT> Env(P.space().size(), 0);
+      for (unsigned I = 0; I != P.space().size(); ++I)
+        if (P.space().kind(I) == VarKind::Param)
+          Env[I] = Params.at(P.space().name(I));
+      for (const auto &[AId, FD] : SP.Spec.FinalData) {
+        (void)FD;
+        const ArrayDecl &AD = P.array(AId);
+        std::vector<IntT> Sizes;
+        for (const AffineExpr &D : AD.DimSizes)
+          Sizes.push_back(D.evaluate(Env));
+        std::vector<IntT> Idx(Sizes.size(), 0);
+        bool Done = Sizes.empty();
+        for (IntT S2 : Sizes)
+          if (S2 <= 0)
+            Done = true;
+        while (!Done) {
+          ++Checked;
+          auto Got = Sim.finalValue(AId, Idx);
+          if (!Got)
+            ++Missing;
+          else if (*Got != Gold.arrayValue(AId, Idx))
+            ++Wrong;
+          for (unsigned K = Idx.size(); K-- > 0;) {
+            if (++Idx[K] < Sizes[K])
+              break;
+            Idx[K] = 0;
+            if (K == 0)
+              Done = true;
+          }
+        }
+      }
+      std::printf("verification: %u checked, %u missing, %u wrong\n",
+                  Checked, Missing, Wrong);
+      if (Missing || Wrong)
+        return 1;
+    }
+  }
+  return 0;
+}
