@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lu_decomposition.dir/lu_decomposition.cpp.o"
+  "CMakeFiles/lu_decomposition.dir/lu_decomposition.cpp.o.d"
+  "lu_decomposition"
+  "lu_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lu_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_baseline.dir/LocationCentric.cpp.o"
+  "CMakeFiles/dmcc_baseline.dir/LocationCentric.cpp.o.d"
+  "CMakeFiles/dmcc_baseline.dir/LocationCompiler.cpp.o"
+  "CMakeFiles/dmcc_baseline.dir/LocationCompiler.cpp.o.d"
+  "libdmcc_baseline.a"
+  "libdmcc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

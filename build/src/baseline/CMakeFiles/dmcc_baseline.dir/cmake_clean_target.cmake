@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdmcc_baseline.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_codegen.dir/CodeGen.cpp.o"
+  "CMakeFiles/dmcc_codegen.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/dmcc_codegen.dir/LoopSplit.cpp.o"
+  "CMakeFiles/dmcc_codegen.dir/LoopSplit.cpp.o.d"
+  "CMakeFiles/dmcc_codegen.dir/Printer.cpp.o"
+  "CMakeFiles/dmcc_codegen.dir/Printer.cpp.o.d"
+  "CMakeFiles/dmcc_codegen.dir/Scan.cpp.o"
+  "CMakeFiles/dmcc_codegen.dir/Scan.cpp.o.d"
+  "libdmcc_codegen.a"
+  "libdmcc_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

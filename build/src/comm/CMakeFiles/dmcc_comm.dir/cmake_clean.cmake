@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_comm.dir/CommSet.cpp.o"
+  "CMakeFiles/dmcc_comm.dir/CommSet.cpp.o.d"
+  "libdmcc_comm.a"
+  "libdmcc_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_core.dir/Compiler.cpp.o"
+  "CMakeFiles/dmcc_core.dir/Compiler.cpp.o.d"
+  "CMakeFiles/dmcc_core.dir/SpecParser.cpp.o"
+  "CMakeFiles/dmcc_core.dir/SpecParser.cpp.o.d"
+  "libdmcc_core.a"
+  "libdmcc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_dataflow.dir/LastWriteTree.cpp.o"
+  "CMakeFiles/dmcc_dataflow.dir/LastWriteTree.cpp.o.d"
+  "libdmcc_dataflow.a"
+  "libdmcc_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

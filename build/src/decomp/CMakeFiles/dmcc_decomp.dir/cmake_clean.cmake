@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_decomp.dir/Decomposition.cpp.o"
+  "CMakeFiles/dmcc_decomp.dir/Decomposition.cpp.o.d"
+  "libdmcc_decomp.a"
+  "libdmcc_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/dmcc_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/dmcc_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/dmcc_frontend.dir/Parser.cpp.o.d"
+  "libdmcc_frontend.a"
+  "libdmcc_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_ir.dir/Interp.cpp.o"
+  "CMakeFiles/dmcc_ir.dir/Interp.cpp.o.d"
+  "CMakeFiles/dmcc_ir.dir/Program.cpp.o"
+  "CMakeFiles/dmcc_ir.dir/Program.cpp.o.d"
+  "libdmcc_ir.a"
+  "libdmcc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

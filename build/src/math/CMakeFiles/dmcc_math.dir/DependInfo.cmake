@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/Affine.cpp" "src/math/CMakeFiles/dmcc_math.dir/Affine.cpp.o" "gcc" "src/math/CMakeFiles/dmcc_math.dir/Affine.cpp.o.d"
+  "/root/repo/src/math/LexOpt.cpp" "src/math/CMakeFiles/dmcc_math.dir/LexOpt.cpp.o" "gcc" "src/math/CMakeFiles/dmcc_math.dir/LexOpt.cpp.o.d"
+  "/root/repo/src/math/Region.cpp" "src/math/CMakeFiles/dmcc_math.dir/Region.cpp.o" "gcc" "src/math/CMakeFiles/dmcc_math.dir/Region.cpp.o.d"
+  "/root/repo/src/math/Space.cpp" "src/math/CMakeFiles/dmcc_math.dir/Space.cpp.o" "gcc" "src/math/CMakeFiles/dmcc_math.dir/Space.cpp.o.d"
+  "/root/repo/src/math/System.cpp" "src/math/CMakeFiles/dmcc_math.dir/System.cpp.o" "gcc" "src/math/CMakeFiles/dmcc_math.dir/System.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dmcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_math.dir/Affine.cpp.o"
+  "CMakeFiles/dmcc_math.dir/Affine.cpp.o.d"
+  "CMakeFiles/dmcc_math.dir/LexOpt.cpp.o"
+  "CMakeFiles/dmcc_math.dir/LexOpt.cpp.o.d"
+  "CMakeFiles/dmcc_math.dir/Region.cpp.o"
+  "CMakeFiles/dmcc_math.dir/Region.cpp.o.d"
+  "CMakeFiles/dmcc_math.dir/Space.cpp.o"
+  "CMakeFiles/dmcc_math.dir/Space.cpp.o.d"
+  "CMakeFiles/dmcc_math.dir/System.cpp.o"
+  "CMakeFiles/dmcc_math.dir/System.cpp.o.d"
+  "libdmcc_math.a"
+  "libdmcc_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

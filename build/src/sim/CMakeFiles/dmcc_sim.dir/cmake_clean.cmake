@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/dmcc_sim.dir/Simulator.cpp.o.d"
+  "libdmcc_sim.a"
+  "libdmcc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

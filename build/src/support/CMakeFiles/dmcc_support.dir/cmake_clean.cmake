@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_support.dir/IntOps.cpp.o"
+  "CMakeFiles/dmcc_support.dir/IntOps.cpp.o.d"
+  "libdmcc_support.a"
+  "libdmcc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

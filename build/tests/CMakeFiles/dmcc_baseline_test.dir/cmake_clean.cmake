@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_baseline_test.dir/baseline/LocationCentricTest.cpp.o"
+  "CMakeFiles/dmcc_baseline_test.dir/baseline/LocationCentricTest.cpp.o.d"
+  "CMakeFiles/dmcc_baseline_test.dir/baseline/LocationCompilerTest.cpp.o"
+  "CMakeFiles/dmcc_baseline_test.dir/baseline/LocationCompilerTest.cpp.o.d"
+  "dmcc_baseline_test"
+  "dmcc_baseline_test.pdb"
+  "dmcc_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

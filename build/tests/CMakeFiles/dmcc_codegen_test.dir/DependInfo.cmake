@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/codegen/AggregationTest.cpp" "tests/CMakeFiles/dmcc_codegen_test.dir/codegen/AggregationTest.cpp.o" "gcc" "tests/CMakeFiles/dmcc_codegen_test.dir/codegen/AggregationTest.cpp.o.d"
+  "/root/repo/tests/codegen/LoopSplitTest.cpp" "tests/CMakeFiles/dmcc_codegen_test.dir/codegen/LoopSplitTest.cpp.o" "gcc" "tests/CMakeFiles/dmcc_codegen_test.dir/codegen/LoopSplitTest.cpp.o.d"
+  "/root/repo/tests/codegen/PrinterTest.cpp" "tests/CMakeFiles/dmcc_codegen_test.dir/codegen/PrinterTest.cpp.o" "gcc" "tests/CMakeFiles/dmcc_codegen_test.dir/codegen/PrinterTest.cpp.o.d"
+  "/root/repo/tests/codegen/ScanTest.cpp" "tests/CMakeFiles/dmcc_codegen_test.dir/codegen/ScanTest.cpp.o" "gcc" "tests/CMakeFiles/dmcc_codegen_test.dir/codegen/ScanTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/dmcc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dmcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dmcc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/dmcc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/dmcc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/dmcc_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/dmcc_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dmcc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/dmcc_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dmcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_codegen_test.dir/codegen/AggregationTest.cpp.o"
+  "CMakeFiles/dmcc_codegen_test.dir/codegen/AggregationTest.cpp.o.d"
+  "CMakeFiles/dmcc_codegen_test.dir/codegen/LoopSplitTest.cpp.o"
+  "CMakeFiles/dmcc_codegen_test.dir/codegen/LoopSplitTest.cpp.o.d"
+  "CMakeFiles/dmcc_codegen_test.dir/codegen/PrinterTest.cpp.o"
+  "CMakeFiles/dmcc_codegen_test.dir/codegen/PrinterTest.cpp.o.d"
+  "CMakeFiles/dmcc_codegen_test.dir/codegen/ScanTest.cpp.o"
+  "CMakeFiles/dmcc_codegen_test.dir/codegen/ScanTest.cpp.o.d"
+  "dmcc_codegen_test"
+  "dmcc_codegen_test.pdb"
+  "dmcc_codegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

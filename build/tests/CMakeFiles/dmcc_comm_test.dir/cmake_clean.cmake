@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_comm_test.dir/comm/CommSetTest.cpp.o"
+  "CMakeFiles/dmcc_comm_test.dir/comm/CommSetTest.cpp.o.d"
+  "CMakeFiles/dmcc_comm_test.dir/comm/FinalizationTest.cpp.o"
+  "CMakeFiles/dmcc_comm_test.dir/comm/FinalizationTest.cpp.o.d"
+  "dmcc_comm_test"
+  "dmcc_comm_test.pdb"
+  "dmcc_comm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_comm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

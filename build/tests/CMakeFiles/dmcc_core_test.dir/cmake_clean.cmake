@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_core_test.dir/core/SpecParserTest.cpp.o"
+  "CMakeFiles/dmcc_core_test.dir/core/SpecParserTest.cpp.o.d"
+  "dmcc_core_test"
+  "dmcc_core_test.pdb"
+  "dmcc_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_dataflow_test.dir/dataflow/LWTPropertyTest.cpp.o"
+  "CMakeFiles/dmcc_dataflow_test.dir/dataflow/LWTPropertyTest.cpp.o.d"
+  "CMakeFiles/dmcc_dataflow_test.dir/dataflow/LastWriteTreeTest.cpp.o"
+  "CMakeFiles/dmcc_dataflow_test.dir/dataflow/LastWriteTreeTest.cpp.o.d"
+  "CMakeFiles/dmcc_dataflow_test.dir/dataflow/StrideTest.cpp.o"
+  "CMakeFiles/dmcc_dataflow_test.dir/dataflow/StrideTest.cpp.o.d"
+  "dmcc_dataflow_test"
+  "dmcc_dataflow_test.pdb"
+  "dmcc_dataflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_dataflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_decomp_test.dir/decomp/DecompositionTest.cpp.o"
+  "CMakeFiles/dmcc_decomp_test.dir/decomp/DecompositionTest.cpp.o.d"
+  "dmcc_decomp_test"
+  "dmcc_decomp_test.pdb"
+  "dmcc_decomp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_decomp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_frontend_test.dir/frontend/LexerTest.cpp.o"
+  "CMakeFiles/dmcc_frontend_test.dir/frontend/LexerTest.cpp.o.d"
+  "dmcc_frontend_test"
+  "dmcc_frontend_test.pdb"
+  "dmcc_frontend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_integration_test.dir/integration/EndToEndTest.cpp.o"
+  "CMakeFiles/dmcc_integration_test.dir/integration/EndToEndTest.cpp.o.d"
+  "CMakeFiles/dmcc_integration_test.dir/integration/FailureModeTest.cpp.o"
+  "CMakeFiles/dmcc_integration_test.dir/integration/FailureModeTest.cpp.o.d"
+  "CMakeFiles/dmcc_integration_test.dir/integration/FuzzPipelineTest.cpp.o"
+  "CMakeFiles/dmcc_integration_test.dir/integration/FuzzPipelineTest.cpp.o.d"
+  "CMakeFiles/dmcc_integration_test.dir/integration/Grid2DTest.cpp.o"
+  "CMakeFiles/dmcc_integration_test.dir/integration/Grid2DTest.cpp.o.d"
+  "CMakeFiles/dmcc_integration_test.dir/integration/GroupReuseTest.cpp.o"
+  "CMakeFiles/dmcc_integration_test.dir/integration/GroupReuseTest.cpp.o.d"
+  "CMakeFiles/dmcc_integration_test.dir/integration/IfConversionTest.cpp.o"
+  "CMakeFiles/dmcc_integration_test.dir/integration/IfConversionTest.cpp.o.d"
+  "dmcc_integration_test"
+  "dmcc_integration_test.pdb"
+  "dmcc_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

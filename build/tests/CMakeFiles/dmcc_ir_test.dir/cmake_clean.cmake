@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_ir_test.dir/ir/InterpTest.cpp.o"
+  "CMakeFiles/dmcc_ir_test.dir/ir/InterpTest.cpp.o.d"
+  "CMakeFiles/dmcc_ir_test.dir/ir/ProgramTest.cpp.o"
+  "CMakeFiles/dmcc_ir_test.dir/ir/ProgramTest.cpp.o.d"
+  "dmcc_ir_test"
+  "dmcc_ir_test.pdb"
+  "dmcc_ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

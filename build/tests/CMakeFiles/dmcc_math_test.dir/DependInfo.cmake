@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/math/AffineTest.cpp" "tests/CMakeFiles/dmcc_math_test.dir/math/AffineTest.cpp.o" "gcc" "tests/CMakeFiles/dmcc_math_test.dir/math/AffineTest.cpp.o.d"
+  "/root/repo/tests/math/CoalesceTest.cpp" "tests/CMakeFiles/dmcc_math_test.dir/math/CoalesceTest.cpp.o" "gcc" "tests/CMakeFiles/dmcc_math_test.dir/math/CoalesceTest.cpp.o.d"
+  "/root/repo/tests/math/LexOptTest.cpp" "tests/CMakeFiles/dmcc_math_test.dir/math/LexOptTest.cpp.o" "gcc" "tests/CMakeFiles/dmcc_math_test.dir/math/LexOptTest.cpp.o.d"
+  "/root/repo/tests/math/ProjectionPropertyTest.cpp" "tests/CMakeFiles/dmcc_math_test.dir/math/ProjectionPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/dmcc_math_test.dir/math/ProjectionPropertyTest.cpp.o.d"
+  "/root/repo/tests/math/RegionPropertyTest.cpp" "tests/CMakeFiles/dmcc_math_test.dir/math/RegionPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/dmcc_math_test.dir/math/RegionPropertyTest.cpp.o.d"
+  "/root/repo/tests/math/RegionTest.cpp" "tests/CMakeFiles/dmcc_math_test.dir/math/RegionTest.cpp.o" "gcc" "tests/CMakeFiles/dmcc_math_test.dir/math/RegionTest.cpp.o.d"
+  "/root/repo/tests/math/SpaceTest.cpp" "tests/CMakeFiles/dmcc_math_test.dir/math/SpaceTest.cpp.o" "gcc" "tests/CMakeFiles/dmcc_math_test.dir/math/SpaceTest.cpp.o.d"
+  "/root/repo/tests/math/SystemTest.cpp" "tests/CMakeFiles/dmcc_math_test.dir/math/SystemTest.cpp.o" "gcc" "tests/CMakeFiles/dmcc_math_test.dir/math/SystemTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/dmcc_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dmcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_math_test.dir/math/AffineTest.cpp.o"
+  "CMakeFiles/dmcc_math_test.dir/math/AffineTest.cpp.o.d"
+  "CMakeFiles/dmcc_math_test.dir/math/CoalesceTest.cpp.o"
+  "CMakeFiles/dmcc_math_test.dir/math/CoalesceTest.cpp.o.d"
+  "CMakeFiles/dmcc_math_test.dir/math/LexOptTest.cpp.o"
+  "CMakeFiles/dmcc_math_test.dir/math/LexOptTest.cpp.o.d"
+  "CMakeFiles/dmcc_math_test.dir/math/ProjectionPropertyTest.cpp.o"
+  "CMakeFiles/dmcc_math_test.dir/math/ProjectionPropertyTest.cpp.o.d"
+  "CMakeFiles/dmcc_math_test.dir/math/RegionPropertyTest.cpp.o"
+  "CMakeFiles/dmcc_math_test.dir/math/RegionPropertyTest.cpp.o.d"
+  "CMakeFiles/dmcc_math_test.dir/math/RegionTest.cpp.o"
+  "CMakeFiles/dmcc_math_test.dir/math/RegionTest.cpp.o.d"
+  "CMakeFiles/dmcc_math_test.dir/math/SpaceTest.cpp.o"
+  "CMakeFiles/dmcc_math_test.dir/math/SpaceTest.cpp.o.d"
+  "CMakeFiles/dmcc_math_test.dir/math/SystemTest.cpp.o"
+  "CMakeFiles/dmcc_math_test.dir/math/SystemTest.cpp.o.d"
+  "dmcc_math_test"
+  "dmcc_math_test.pdb"
+  "dmcc_math_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc_sim_test.dir/sim/SimulatorTest.cpp.o"
+  "CMakeFiles/dmcc_sim_test.dir/sim/SimulatorTest.cpp.o.d"
+  "dmcc_sim_test"
+  "dmcc_sim_test.pdb"
+  "dmcc_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

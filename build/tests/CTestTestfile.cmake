@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dmcc_math_test[1]_include.cmake")
+include("/root/repo/build/tests/dmcc_ir_test[1]_include.cmake")
+include("/root/repo/build/tests/dmcc_dataflow_test[1]_include.cmake")
+include("/root/repo/build/tests/dmcc_decomp_test[1]_include.cmake")
+include("/root/repo/build/tests/dmcc_comm_test[1]_include.cmake")
+include("/root/repo/build/tests/dmcc_codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/dmcc_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/dmcc_baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/dmcc_core_test[1]_include.cmake")
+include("/root/repo/build/tests/dmcc_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/dmcc_frontend_test[1]_include.cmake")

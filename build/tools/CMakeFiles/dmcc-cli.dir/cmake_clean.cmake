@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmcc-cli.dir/dmcc-cli.cpp.o"
+  "CMakeFiles/dmcc-cli.dir/dmcc-cli.cpp.o.d"
+  "dmcc-cli"
+  "dmcc-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmcc-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
