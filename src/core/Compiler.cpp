@@ -330,6 +330,7 @@ CompiledProgram dmcc::compile(const Program &P, const CompileSpec &Spec,
   Emitter Em(P, SS, Spec, Comms, Deps);
   SS.prog().Top = Em.run();
   Out.Spmd = std::move(SS.prog());
+  Out.Stats.NumCommChannels = Out.Spmd.NumCommIds;
   if (Opts.SplitLoops) {
     LoopSplitStats LS = splitLoops(Out.Spmd);
     Out.Stats.LoopsSplit = LS.LoopsSplit;

@@ -61,6 +61,10 @@ struct CompileStats {
   unsigned NumCommSetsAfterSelfReuse = 0;
   unsigned NumMulticastSets = 0;
   unsigned NumFinalizationSets = 0;
+  /// Distinct communication tags in the emitted SPMD program — the
+  /// directed-channel count the simulator's reliable transport tracks
+  /// sequence numbers for (an upper bound per src/dst pair).
+  unsigned NumCommChannels = 0;
   unsigned LoopsSplit = 0;
   unsigned GuardsEliminated = 0;
   bool AllExact = true;

@@ -27,6 +27,21 @@ AffineExpr &AffineExpr::scale(IntT F) {
   return *this;
 }
 
+bool AffineExpr::scaleChecked(IntT F) {
+  for (IntT &C : Coeffs)
+    if (__builtin_mul_overflow(C, F, &C))
+      return false;
+  return !__builtin_mul_overflow(Cst, F, &Cst);
+}
+
+bool AffineExpr::addChecked(const AffineExpr &O) {
+  assert(O.size() == size() && "adding expressions over different spaces");
+  for (unsigned I = 0, E = Coeffs.size(); I != E; ++I)
+    if (__builtin_add_overflow(Coeffs[I], O.Coeffs[I], &Coeffs[I]))
+      return false;
+  return !__builtin_add_overflow(Cst, O.Cst, &Cst);
+}
+
 AffineExpr AffineExpr::negated() const {
   AffineExpr R = *this;
   R.scale(-1);

@@ -76,6 +76,17 @@ public:
   /// Multiplies every term by \p F.
   AffineExpr &scale(IntT F);
 
+  /// Overflow-reporting variant of scale(): multiplies every term by
+  /// \p F, returning false (leaving the expression partially scaled)
+  /// instead of aborting when a term overflows. Callers that can name
+  /// their context (e.g. Fourier-Motzkin combination) use this to fail
+  /// with a better diagnostic than the raw arithmetic would.
+  [[nodiscard]] bool scaleChecked(IntT F);
+
+  /// Overflow-reporting variant of operator+=: returns false instead of
+  /// aborting when a term overflows.
+  [[nodiscard]] bool addChecked(const AffineExpr &O);
+
   /// Returns -this.
   AffineExpr negated() const;
 

@@ -180,10 +180,16 @@ System System::fmEliminated(unsigned I, bool *Exact) const {
       if (Exact && A != 1 && B != 1)
         *Exact = false;
       AffineExpr NE = LE;
-      NE.scale(B / G);
       AffineExpr Scaled = UE;
-      Scaled.scale(A / G);
-      NE += Scaled;
+      // Cross-multiplying bound pairs is where Fourier-Motzkin grows
+      // coefficients; diagnose overflow here with its cause instead of
+      // letting the raw arithmetic abort anonymously.
+      if (!NE.scaleChecked(B / G) || !Scaled.scaleChecked(A / G) ||
+          !NE.addChecked(Scaled))
+        fatalError("coefficient overflow during Fourier-Motzkin "
+                   "elimination: combining bounds exceeds the 64-bit "
+                   "coefficient range (system too complex or input "
+                   "coefficients too large)");
       assert(NE.coeff(I) == 0 && "elimination failed to cancel");
       R.addGE(std::move(NE));
     }

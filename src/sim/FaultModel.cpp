@@ -1,0 +1,89 @@
+//===- sim/FaultModel.cpp -------------------------------------*- C++ -*-===//
+
+#include "sim/FaultModel.h"
+
+#include <cmath>
+
+using namespace dmcc;
+
+namespace {
+
+/// SplitMix64 finalizer: a strong 64-bit mixer, used both to combine
+/// identity words and to turn them into uniform variates.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+uint64_t combine(uint64_t H, uint64_t X) { return mix64(H ^ mix64(X)); }
+
+/// Distinct streams so the same (channel, seq, attempt) identity yields
+/// independent drop/ack/dup/delay decisions.
+enum Stream : uint64_t {
+  DataStream = 0x11,
+  AckStream = 0x22,
+  DupStream = 0x33,
+  DelayStream = 0x44,
+  SlowStream = 0x55,
+};
+
+} // namespace
+
+uint64_t FaultModel::channelId(unsigned CommId,
+                               const std::vector<IntT> &Src,
+                               const std::vector<IntT> &Dst) {
+  uint64_t H = mix64(0xC0FFEEull + CommId);
+  for (IntT C : Src)
+    H = combine(H, static_cast<uint64_t>(C) + 1);
+  H = combine(H, 0xD15C0ull); // separator: ((1),(2)) != ((1,2),())
+  for (IntT C : Dst)
+    H = combine(H, static_cast<uint64_t>(C) + 1);
+  return H;
+}
+
+double FaultModel::unit(uint64_t A, uint64_t B, uint64_t C,
+                        uint64_t D) const {
+  uint64_t H = combine(combine(combine(combine(mix64(Opt.Seed), A), B), C),
+                       D);
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(H >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool FaultModel::dropData(uint64_t Chan, uint64_t Seq,
+                          unsigned Attempt) const {
+  return unit(DataStream, Chan, Seq, Attempt) < Opt.DropRate;
+}
+
+bool FaultModel::dropAck(uint64_t Chan, uint64_t Seq,
+                         unsigned Attempt) const {
+  return unit(AckStream, Chan, Seq, Attempt) < Opt.DropRate;
+}
+
+bool FaultModel::duplicate(uint64_t Chan, uint64_t Seq,
+                           unsigned Attempt) const {
+  return unit(DupStream, Chan, Seq, Attempt) < Opt.DupRate;
+}
+
+double FaultModel::deliveryDelay(uint64_t Chan, uint64_t Seq,
+                                 unsigned Attempt, unsigned Copy) const {
+  if (Opt.MaxDelaySeconds <= 0)
+    return 0;
+  return unit(DelayStream, Chan, Seq,
+              (static_cast<uint64_t>(Attempt) << 32) | Copy) *
+         Opt.MaxDelaySeconds;
+}
+
+double FaultModel::slowdown(unsigned Phys) const {
+  if (Opt.MaxSlowdown <= 1.0)
+    return 1.0;
+  return 1.0 + unit(SlowStream, Phys, 0, 0) * (Opt.MaxSlowdown - 1.0);
+}
+
+double FaultModel::backoffDelay(unsigned Attempt) const {
+  if (Attempt == 0)
+    return 0;
+  return Opt.RetryTimeoutSeconds *
+         std::pow(Opt.BackoffFactor, static_cast<double>(Attempt - 1));
+}

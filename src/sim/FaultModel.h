@@ -1,0 +1,111 @@
+//===- sim/FaultModel.h - Deterministic network fault injection -*- C++ -*-===//
+//
+// Part of dmcc, a reproduction of Amarasinghe & Lam, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seed-driven fault injection for the simulated message-passing machine.
+/// Every decision (drop this data packet? drop its ack? duplicate it? how
+/// much extra wire delay?) is a pure function of the seed and the packet's
+/// identity (channel, sequence number, attempt), never of the scheduler's
+/// interleaving — so a given seed produces exactly one fault schedule and
+/// simulation results are bit-for-bit reproducible.
+///
+/// The fault model drives the reliable-transport layer in the simulator:
+/// with any fault knob nonzero, sends carry sequence numbers, receivers
+/// acknowledge and suppress duplicates, and senders retransmit with
+/// exponential backoff up to a bounded retry budget. With all knobs at
+/// their defaults the transport is bypassed entirely (zero overhead).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMCC_SIM_FAULTMODEL_H
+#define DMCC_SIM_FAULTMODEL_H
+
+#include "support/IntOps.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dmcc {
+
+/// Network/processor fault-injection knobs plus the reliable-transport
+/// parameters that tolerate them. All rates are probabilities in [0, 1].
+struct FaultOptions {
+  uint64_t Seed = 0;          ///< fault-schedule seed
+  double DropRate = 0;        ///< P(one data or ack transmission is lost)
+  double DupRate = 0;         ///< P(a delivered data packet is duplicated)
+  double MaxDelaySeconds = 0; ///< extra delivery delay, uniform in [0, max]
+  /// Compute slowdown per physical processor, drawn uniformly in
+  /// [1, MaxSlowdown]; 1 disables the fault.
+  double MaxSlowdown = 1.0;
+
+  /// Reliable-transport tuning: time the sender waits for an ack before
+  /// the first retransmission; doubles (BackoffFactor) per retry.
+  double RetryTimeoutSeconds = 500e-6;
+  double BackoffFactor = 2.0;
+  /// Retransmissions after the initial attempt before giving up on a
+  /// packet and reporting a transport failure.
+  unsigned MaxRetries = 8;
+  /// Engage the reliable transport (seq numbers, acks) even with all
+  /// fault rates at zero, to measure the protocol's own overhead.
+  bool AlwaysReliable = false;
+
+  /// True if any fault can actually occur.
+  bool faulty() const {
+    return DropRate > 0 || DupRate > 0 || MaxDelaySeconds > 0 ||
+           MaxSlowdown > 1.0;
+  }
+  /// True if the simulator must route messages through the reliable
+  /// transport instead of the ideal zero-overhead network. A pure
+  /// compute slowdown does not need acknowledged delivery.
+  bool transportActive() const {
+    return DropRate > 0 || DupRate > 0 || MaxDelaySeconds > 0 ||
+           AlwaysReliable;
+  }
+};
+
+/// The deterministic fault schedule. Stateless apart from the options:
+/// every query hashes its arguments with the seed, so results do not
+/// depend on query order.
+class FaultModel {
+public:
+  explicit FaultModel(const FaultOptions &O) : Opt(O) {}
+
+  const FaultOptions &options() const { return Opt; }
+  bool active() const { return Opt.transportActive(); }
+
+  /// Stable identity of a directed channel: communication tag plus the
+  /// sender and receiver virtual-grid coordinates.
+  static uint64_t channelId(unsigned CommId, const std::vector<IntT> &Src,
+                            const std::vector<IntT> &Dst);
+
+  /// Is the data transmission of attempt \p Attempt of packet \p Seq lost?
+  bool dropData(uint64_t Chan, uint64_t Seq, unsigned Attempt) const;
+  /// Is the acknowledgement for that attempt lost on the way back?
+  bool dropAck(uint64_t Chan, uint64_t Seq, unsigned Attempt) const;
+  /// Does the network deliver an extra copy of that attempt?
+  bool duplicate(uint64_t Chan, uint64_t Seq, unsigned Attempt) const;
+  /// Extra wire delay for copy \p Copy of that attempt, in
+  /// [0, MaxDelaySeconds]. Independent per copy, so duplicates and
+  /// retransmissions can arrive out of order.
+  double deliveryDelay(uint64_t Chan, uint64_t Seq, unsigned Attempt,
+                       unsigned Copy) const;
+  /// Compute-slowdown factor of physical processor \p Phys, in
+  /// [1, MaxSlowdown].
+  double slowdown(unsigned Phys) const;
+  /// Sender-side wait before retransmission attempt \p Attempt (>= 1):
+  /// RetryTimeoutSeconds * BackoffFactor^(Attempt - 1).
+  double backoffDelay(unsigned Attempt) const;
+
+private:
+  /// Uniform value in [0, 1) from the seed and a 4-part identity.
+  double unit(uint64_t A, uint64_t B, uint64_t C, uint64_t D) const;
+
+  FaultOptions Opt;
+};
+
+} // namespace dmcc
+
+#endif // DMCC_SIM_FAULTMODEL_H

@@ -47,6 +47,9 @@ struct Simulator::Message {
   /// Multicast content is consumed directly from the communication
   /// buffer (Section 5.5), so the receiver pays no per-word copy.
   bool FromMulticast = false;
+  /// Reliable-transport sequence number on this channel (0 when the
+  /// transport is bypassed).
+  uint64_t Seq = 0;
 };
 
 struct Simulator::Frame {
@@ -64,6 +67,9 @@ struct Simulator::VirtProc {
   std::vector<Frame> Stack;
   bool Finished = false;
   bool Blocked = false;
+  /// What this processor was waiting for the last time it blocked; the
+  /// deadlock detector reads it to build the structured diagnostic.
+  PendingRecv LastBlock;
   std::map<std::pair<unsigned, IntT>, double> Store;
   int LastMulticastComm = -1;
   /// Physical destinations already served within the current multicast
@@ -85,7 +91,8 @@ Simulator::~Simulator() = default;
 
 Simulator::Simulator(const Program &P, const CompiledProgram &CP,
                      const CompileSpec &Spec, SimOptions Opts)
-    : P(P), CP(CP), Spec(Spec), Opts(std::move(Opts)) {
+    : P(P), CP(CP), Spec(Spec), Opts(std::move(Opts)),
+      Faults(this->Opts.Faults) {
   assert(this->Opts.PhysGrid.size() == CP.Spmd.GridDims &&
          "physical grid arity mismatch");
   computeVirtualGrid();
@@ -135,6 +142,10 @@ Simulator::Simulator(const Program &P, const CompiledProgram &CP,
     PhysCount = mulChk(PhysCount, G);
   PhysClock.assign(PhysCount, 0.0);
   PhysBusy.assign(PhysCount, 0.0);
+  SlowFactor.assign(PhysCount, 1.0);
+  if (this->Opts.Faults.MaxSlowdown > 1.0)
+    for (unsigned Ph = 0; Ph != static_cast<unsigned>(PhysCount); ++Ph)
+      SlowFactor[Ph] = Faults.slowdown(Ph);
 
   if (this->Opts.Functional)
     initLocalStores();
@@ -394,6 +405,9 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
   unsigned Slice = 200000;
   double &Clock = PhysClock[V.Phys];
   double &Busy = PhysBusy[V.Phys];
+  // Injected per-processor slowdown; exactly 1.0 (cost-neutral) unless
+  // fault injection is configured.
+  const double SF = SlowFactor[V.Phys];
 
   // Inline executor for pack/unpack bodies (never blocks).
   std::function<void(const std::vector<SpmdStmt> &,
@@ -517,8 +531,8 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
             R.Flops += Trip * countFlops(P.statement(B.StmtId));
             R.ComputeIterations += Trip;
           }
-        Clock += Trip * C;
-        Busy += Trip * C;
+        Clock += Trip * C * SF;
+        Busy += Trip * C * SF;
         break;
       }
       V.Env[St.Var] = Lo;
@@ -548,7 +562,7 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
       break;
     case SpmdStmt::Kind::Compute: {
       execComputeIter(V, St);
-      double C = statementCost(P.statement(St.StmtId));
+      double C = statementCost(P.statement(St.StmtId)) * SF;
       Clock += C;
       Busy += C;
       R.Flops += countFlops(P.statement(St.StmtId));
@@ -589,14 +603,77 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
                      V.LastMulticastComm == static_cast<int>(St.CommId);
       if (!InBurst)
         V.BurstPhys.clear();
+      M.FromMulticast = St.IsMulticast;
+      std::vector<IntT> Key;
+      Key.push_back(static_cast<IntT>(St.CommId));
+      for (IntT C2 : V.Coord)
+        Key.push_back(C2);
+      for (IntT C2 : Dst)
+        Key.push_back(C2);
       if (Intra && Opts.FreeIntraPhysical) {
+        // A local memory move: never exposed to network faults.
         ++R.IntraMessages;
         M.ReadyTime = Clock;
+        Queues[Key].push_back(std::move(M));
+      } else if (Faults.active()) {
+        // Reliable transport: stop-and-wait per packet with acks and
+        // bounded exponential-backoff retransmission. Every receiver is
+        // its own acknowledged channel, so the multicast burst
+        // wire-sharing shortcut does not apply here.
+        uint64_t Chan = FaultModel::channelId(St.CommId, V.Coord, Dst);
+        uint64_t Seq = SendSeq[Key]++;
+        M.Seq = Seq;
+        double Start = Clock;
+        double SendCost =
+            (Opts.Cost.MsgLatency + M.WordCount * Opts.Cost.SendPerWord) *
+            SF;
+        double DeliverLat =
+            Opts.Cost.MsgLatency +
+            static_cast<double>(M.WordCount) * Opts.Cost.WireTimePerWord;
+        unsigned MaxAttempts = Opts.Faults.MaxRetries + 1;
+        unsigned Made = 0;
+        bool Delivered = false, Acked = false;
+        double Offset = 0; // accumulated backoff before each attempt
+        for (unsigned A = 0; A != MaxAttempts && !Acked; ++A) {
+          Offset += Faults.backoffDelay(A);
+          ++Made;
+          if (Faults.dropData(Chan, Seq, A)) {
+            ++R.DroppedPackets;
+            continue;
+          }
+          Delivered = true;
+          Message Copy = M;
+          Copy.ReadyTime = Start + Offset + SendCost + DeliverLat +
+                           Faults.deliveryDelay(Chan, Seq, A, 0);
+          Queues[Key].push_back(std::move(Copy));
+          ++R.AcksSent; // the receiver acknowledges this copy
+          if (Faults.duplicate(Chan, Seq, A)) {
+            Message Dup = M;
+            Dup.ReadyTime = Start + Offset + SendCost + DeliverLat +
+                            Faults.deliveryDelay(Chan, Seq, A, 1);
+            Queues[Key].push_back(std::move(Dup));
+            ++R.AcksSent;
+          }
+          if (!Faults.dropAck(Chan, Seq, A))
+            Acked = true;
+        }
+        R.Retransmissions += Made - 1;
+        // Messages/Words stay logical (one per app-level send) so the
+        // counters remain comparable across fault schedules; the wire
+        // overhead shows up in Retransmissions and the clocks.
+        ++R.Messages;
+        R.Words += M.WordCount;
+        Clock += SendCost;
+        Busy += SendCost * Made;
+        if (!Delivered)
+          Failures.push_back(
+              TransportFailure{St.CommId, V.Coord, Dst, Seq, Made});
       } else if (InBurst && V.BurstPhys.count(DstPhys)) {
         // Same physical processor already got this content in the burst:
         // one wire message serves every folded virtual processor.
         ++R.IntraMessages;
         M.ReadyTime = V.BurstReady;
+        Queues[Key].push_back(std::move(M));
       } else {
         double C;
         if (InBurst && !V.BurstPhys.empty())
@@ -612,17 +689,10 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
             static_cast<double>(M.WordCount) * Opts.Cost.WireTimePerWord;
         V.BurstPhys.insert(DstPhys);
         V.BurstReady = M.ReadyTime;
+        Queues[Key].push_back(std::move(M));
       }
-      M.FromMulticast = St.IsMulticast;
       V.LastMulticastComm = St.IsMulticast ? static_cast<int>(St.CommId)
                                            : -1;
-      std::vector<IntT> Key;
-      Key.push_back(static_cast<IntT>(St.CommId));
-      for (IntT C2 : V.Coord)
-        Key.push_back(C2);
-      for (IntT C2 : Dst)
-        Key.push_back(C2);
-      Queues[Key].push_back(std::move(M));
       ++F.Pos;
       break;
     }
@@ -637,17 +707,62 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
       for (IntT C2 : V.Coord)
         Key.push_back(C2);
       auto It = Queues.find(Key);
-      if (It == Queues.end() || It->second.empty()) {
+      bool Transport = Faults.active();
+      uint64_t Expect = Transport ? RecvSeq[Key] : 0;
+      // Which queued message can this receive consume? Without the
+      // transport: the front (FIFO). With it: the earliest-arriving copy
+      // carrying exactly the expected sequence number; later sequence
+      // numbers may already be buffered (reordered delivery) but must
+      // wait their turn.
+      int Pick = -1;
+      if (It != Queues.end()) {
+        if (!Transport) {
+          if (!It->second.empty())
+            Pick = 0;
+        } else {
+          for (unsigned I = 0; I != It->second.size(); ++I) {
+            const Message &Cand = It->second[I];
+            if (Cand.Seq != Expect)
+              continue;
+            if (Pick < 0 ||
+                Cand.ReadyTime <
+                    It->second[static_cast<unsigned>(Pick)].ReadyTime)
+              Pick = static_cast<int>(I);
+          }
+        }
+      }
+      if (Pick < 0) {
         // A blocked receive attempt is NOT progress: if every processor
         // ends up here, the scheduler must report deadlock rather than
-        // spin retrying.
+        // spin retrying. Record what we were waiting for so the detector
+        // can name it.
         V.Blocked = true;
+        V.LastBlock.Coord = V.Coord;
+        V.LastBlock.Phys = V.Phys;
+        V.LastBlock.CommId = St.CommId;
+        V.LastBlock.Peer = Src;
+        V.LastBlock.ExpectedSeq = Expect;
+        V.LastBlock.BufferedAhead =
+            It == Queues.end() ? 0 : It->second.size();
         --Events;
         return Ran;
       }
       Ran = true;
-      Message M = std::move(It->second.front());
-      It->second.erase(It->second.begin());
+      Message M = std::move(It->second[static_cast<unsigned>(Pick)]);
+      It->second.erase(It->second.begin() + Pick);
+      if (Transport) {
+        // Suppress every other copy of this packet (wire duplicates and
+        // retransmissions whose ack was lost).
+        for (unsigned I = 0; I != It->second.size();) {
+          if (It->second[I].Seq == Expect) {
+            It->second.erase(It->second.begin() + I);
+            ++R.DuplicatesSuppressed;
+          } else {
+            ++I;
+          }
+        }
+        RecvSeq[Key] = Expect + 1;
+      }
       if (M.ReadyTime > Clock)
         Clock = M.ReadyTime; // waiting, not busy
       uint64_t Cursor = 0, Count = 0;
@@ -657,6 +772,9 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
       double C = M.FromMulticast
                      ? 0.0
                      : static_cast<double>(Count) * Opts.Cost.RecvPerWord;
+      if (Transport)
+        C += Opts.Cost.MsgLatency; // acknowledgement transmission
+      C *= SF;
       Clock += C;
       Busy += C;
       V.LastMulticastComm = -1;
@@ -694,18 +812,34 @@ SimResult Simulator::run() {
       break;
     }
     if (!Progress) {
-      R.Ok = false;
-      R.Error = "deadlock: every unfinished processor is blocked on a "
-                "receive with no matching message";
+      reportDeadlock(R);
       return R;
     }
   }
   // Undelivered messages indicate a send/receive mismatch.
-  for (const auto &[Key, Q] : Queues) {
-    if (Q.empty())
-      continue;
+  uint64_t Leftover = 0;
+  for (const auto &[Key, Q] : Queues)
+    Leftover += Q.size();
+  if (Leftover != 0) {
     R.Ok = false;
-    R.Error = "unconsumed messages remain in the network";
+    R.Diag.InFlightMessages = Leftover;
+    R.Diag.RetryExhausted = Failures;
+    R.Diag.TotalProcs = Procs.size();
+    R.Diag.FinishedProcs = Procs.size();
+    R.Error = "unconsumed messages remain in the network (" +
+              std::to_string(Leftover) + " copies)";
+    return R;
+  }
+  if (!Failures.empty()) {
+    // Every processor finished yet some packet exhausted its retries:
+    // the program never waited for it, which is a compilation bug.
+    R.Ok = false;
+    R.Diag.RetryExhausted = Failures;
+    R.Diag.TotalProcs = Procs.size();
+    R.Diag.FinishedProcs = Procs.size();
+    R.Error = "transport gave up on " +
+              std::to_string(Failures.size()) +
+              " packet(s) nobody was waiting for";
     return R;
   }
   R.TotalEvents = Events;
@@ -714,6 +848,77 @@ SimResult Simulator::run() {
     R.MakespanSeconds = std::max(R.MakespanSeconds, C);
   R.PhysBusy = PhysBusy;
   return R;
+}
+
+namespace {
+
+std::string coordStr(const std::vector<IntT> &C) {
+  std::string S = "(";
+  for (unsigned I = 0; I != C.size(); ++I) {
+    if (I)
+      S += ",";
+    S += std::to_string(C[I]);
+  }
+  S += ")";
+  return S;
+}
+
+} // namespace
+
+std::string SimDiagnostics::str() const {
+  std::string S = "deadlock: " + std::to_string(StuckProcs.size()) +
+                  " of " + std::to_string(TotalProcs) +
+                  " virtual processors blocked on a receive with no "
+                  "deliverable message (" +
+                  std::to_string(FinishedProcs) + " finished)\n";
+  constexpr unsigned MaxListed = 16;
+  for (unsigned I = 0; I != StuckProcs.size() && I != MaxListed; ++I) {
+    const PendingRecv &Pr = StuckProcs[I];
+    S += "  stuck: vp" + coordStr(Pr.Coord) + " on phys " +
+         std::to_string(Pr.Phys) + ", waiting for comm " +
+         std::to_string(Pr.CommId) + " from vp" + coordStr(Pr.Peer) +
+         ", expecting seq " + std::to_string(Pr.ExpectedSeq);
+    if (Pr.BufferedAhead)
+      S += ", " + std::to_string(Pr.BufferedAhead) +
+           " buffered out of order";
+    S += "\n";
+  }
+  if (StuckProcs.size() > MaxListed)
+    S += "  ... and " + std::to_string(StuckProcs.size() - MaxListed) +
+         " more stuck processors\n";
+  S += "  in-flight message copies: " + std::to_string(InFlightMessages) +
+       "\n";
+  for (unsigned I = 0; I != RetryExhausted.size() && I != MaxListed;
+       ++I) {
+    const TransportFailure &F = RetryExhausted[I];
+    S += "  retry exhausted: comm " + std::to_string(F.CommId) + " vp" +
+         coordStr(F.Src) + " -> vp" + coordStr(F.Dst) + " seq " +
+         std::to_string(F.Seq) + " lost after " +
+         std::to_string(F.Attempts) + " attempts\n";
+  }
+  if (RetryExhausted.size() > MaxListed)
+    S += "  ... and " +
+         std::to_string(RetryExhausted.size() - MaxListed) +
+         " more retry-exhausted packets\n";
+  return S;
+}
+
+void Simulator::reportDeadlock(SimResult &R) const {
+  R.Ok = false;
+  SimDiagnostics &D = R.Diag;
+  D.TotalProcs = Procs.size();
+  for (const VirtProc &V : Procs) {
+    if (V.Finished) {
+      ++D.FinishedProcs;
+      continue;
+    }
+    if (V.Blocked)
+      D.StuckProcs.push_back(V.LastBlock);
+  }
+  D.RetryExhausted = Failures;
+  for (const auto &[Key, Q] : Queues)
+    D.InFlightMessages += Q.size();
+  R.Error = D.str();
 }
 
 std::optional<double> Simulator::finalValue(

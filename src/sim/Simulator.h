@@ -20,6 +20,14 @@
 /// innermost loops into closed-form costs, and reproduces Figure 14 at
 /// full problem sizes.
 ///
+/// An optional fault layer (SimOptions::Faults, see FaultModel.h) makes
+/// the network lossy — dropped, duplicated and delayed packets, slow
+/// processors — and runs every channel over an acked stop-and-wait
+/// transport with bounded retransmission. Results remain bit-exact under
+/// any fault schedule; unrecoverable stalls end in a structured
+/// SimDiagnostics instead of a hang. With the default options the layer
+/// is bypassed and costs match the lossless machine exactly.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DMCC_SIM_SIMULATOR_H
@@ -27,6 +35,7 @@
 
 #include "core/Compiler.h"
 #include "ir/Program.h"
+#include "sim/FaultModel.h"
 
 #include <map>
 #include <optional>
@@ -62,13 +71,52 @@ struct SimOptions {
   /// folded onto the same physical processor (Section 6.1.3).
   bool FreeIntraPhysical = true;
   CostModel Cost;
+  /// Fault injection and reliable transport; defaults to a perfect
+  /// network with the transport bypassed (zero overhead).
+  FaultOptions Faults;
   uint64_t MaxEvents = 6000000000ull; ///< runaway guard
+};
+
+/// One virtual processor stuck on a receive when the deadlock detector
+/// gave up: where it is, and exactly what it is waiting for.
+struct PendingRecv {
+  std::vector<IntT> Coord; ///< receiver virtual-grid coordinate
+  unsigned Phys = 0;       ///< physical processor it is folded onto
+  unsigned CommId = 0;     ///< communication-set tag of the receive
+  std::vector<IntT> Peer;  ///< expected sender virtual coordinate
+  uint64_t ExpectedSeq = 0; ///< next sequence number awaited
+  /// Copies queued on the channel with a different (later) sequence
+  /// number — arrived out of order, unusable until ExpectedSeq shows up.
+  uint64_t BufferedAhead = 0;
+};
+
+/// A packet the reliable transport gave up on: every attempt (initial
+/// send plus MaxRetries retransmissions) was lost in flight.
+struct TransportFailure {
+  unsigned CommId = 0;
+  std::vector<IntT> Src, Dst; ///< sender / receiver virtual coordinates
+  uint64_t Seq = 0;
+  unsigned Attempts = 0; ///< transmissions made before giving up
+};
+
+/// Structured failure report built when a run cannot complete, instead
+/// of a bare error string: which processors are stuck, what they wait
+/// for, what the transport already gave up on.
+struct SimDiagnostics {
+  std::vector<PendingRecv> StuckProcs;
+  std::vector<TransportFailure> RetryExhausted;
+  uint64_t InFlightMessages = 0; ///< undelivered copies across channels
+  uint64_t FinishedProcs = 0, TotalProcs = 0;
+
+  /// Human-readable rendering ("deadlock: ... vp(1,2) waiting ...").
+  std::string str() const;
 };
 
 /// Aggregate outcome of a simulation.
 struct SimResult {
   bool Ok = false;
-  std::string Error; ///< deadlock / locality violation diagnostics
+  std::string Error; ///< rendered diagnostics when !Ok
+  SimDiagnostics Diag; ///< structured failure report when !Ok
   double MakespanSeconds = 0;
   uint64_t Messages = 0;       ///< network messages (inter-physical)
   uint64_t IntraMessages = 0;  ///< folded-away intra-physical messages
@@ -77,6 +125,14 @@ struct SimResult {
   uint64_t ComputeIterations = 0;
   uint64_t TotalEvents = 0;   ///< executed SPMD statements
   std::vector<double> PhysBusy; ///< busy seconds per physical processor
+
+  // Reliable-transport counters (all zero when the transport is
+  // bypassed). Messages/Words above stay logical (one per app-level
+  // send) so they remain comparable across fault schedules.
+  uint64_t Retransmissions = 0;      ///< extra transmissions by senders
+  uint64_t DroppedPackets = 0;       ///< data copies lost in flight
+  uint64_t DuplicatesSuppressed = 0; ///< redundant copies discarded
+  uint64_t AcksSent = 0;             ///< acknowledgements generated
 };
 
 /// The machine simulator.
@@ -113,17 +169,25 @@ private:
   void execComputeIter(VirtProc &V, const SpmdStmt &St);
   double statementCost(const Statement &S) const;
   unsigned physOf(const std::vector<IntT> &VirtCoord) const;
+  void reportDeadlock(SimResult &R) const;
 
   const Program &P;
   const CompiledProgram &CP;
   const CompileSpec &Spec;
   SimOptions Opts;
+  FaultModel Faults;
 
   std::vector<IntT> VirtLo, VirtHi; ///< virtual grid extent per dim
   std::vector<VirtProc> Procs;
   std::map<std::vector<IntT>, std::vector<Message>> Queues;
+  /// Reliable transport: next sequence number per directed channel key
+  /// (CommId, src coord, dst coord), sender and receiver side.
+  std::map<std::vector<IntT>, uint64_t> SendSeq, RecvSeq;
+  /// Packets whose retry budget was exhausted (never delivered).
+  std::vector<TransportFailure> Failures;
   std::vector<double> PhysClock;
   std::vector<double> PhysBusy;
+  std::vector<double> SlowFactor; ///< per-phys compute slowdown (>= 1)
   std::vector<IntT> ParamEnv; ///< parameter values aligned to Spmd space
   uint64_t Events = 0;        ///< executed SPMD statements (budget guard)
 };

@@ -11,6 +11,14 @@ void dmcc::fatalError(const char *Msg) {
   std::abort();
 }
 
+void dmcc::overflowError(const char *Op, IntT A, IntT B) {
+  std::fprintf(stderr,
+               "dmcc fatal error: integer overflow: %lld %s %lld "
+               "exceeds the 64-bit coefficient range\n",
+               static_cast<long long>(A), Op, static_cast<long long>(B));
+  std::abort();
+}
+
 IntT dmcc::gcdInt(IntT A, IntT B) {
   A = absChk(A);
   B = absChk(B);

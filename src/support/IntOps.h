@@ -7,8 +7,8 @@
 /// \file
 /// Checked 64-bit integer arithmetic used throughout the polyhedral layer.
 /// Fourier-Motzkin elimination multiplies constraint coefficients, so every
-/// arithmetic operation here aborts (in builds with assertions) rather than
-/// silently wrapping on overflow.
+/// arithmetic operation here aborts with a diagnostic naming the operation
+/// and its operands — in all build types, never silently wrapping.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,11 +28,15 @@ using IntT = int64_t;
 /// be fatal even in release builds (e.g. coefficient overflow).
 [[noreturn]] void fatalError(const char *Msg);
 
+/// Aborts reporting an overflowing operation with its operands, e.g.
+/// "integer overflow: 3000000000000000000 * 5".
+[[noreturn]] void overflowError(const char *Op, IntT A, IntT B);
+
 /// Returns \p A + \p B, aborting on signed overflow.
 inline IntT addChk(IntT A, IntT B) {
   IntT R;
   if (__builtin_add_overflow(A, B, &R))
-    fatalError("integer overflow in addition");
+    overflowError("+", A, B);
   return R;
 }
 
@@ -40,7 +44,7 @@ inline IntT addChk(IntT A, IntT B) {
 inline IntT subChk(IntT A, IntT B) {
   IntT R;
   if (__builtin_sub_overflow(A, B, &R))
-    fatalError("integer overflow in subtraction");
+    overflowError("-", A, B);
   return R;
 }
 
@@ -48,14 +52,14 @@ inline IntT subChk(IntT A, IntT B) {
 inline IntT mulChk(IntT A, IntT B) {
   IntT R;
   if (__builtin_mul_overflow(A, B, &R))
-    fatalError("integer overflow in multiplication");
+    overflowError("*", A, B);
   return R;
 }
 
 /// Returns |A|, aborting on INT64_MIN.
 inline IntT absChk(IntT A) {
   if (A == INT64_MIN)
-    fatalError("integer overflow in abs");
+    overflowError("abs", A, 0);
   return A < 0 ? -A : A;
 }
 

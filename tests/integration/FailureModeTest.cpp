@@ -103,3 +103,52 @@ for i = 0 to N {
 TEST(FailureModeTest, ParseErrorsAreDiagnosed) {
   EXPECT_DEATH(parseProgramOrDie("for i = 0 to N { }"), "parse failed");
 }
+
+TEST(FailureModeTest, FourierMotzkinOverflowIsDiagnosed) {
+  // Cross-multiplying a lower bound (2x + Ky >= 0) with an upper bound
+  // (-3x + Ky >= 0) produces a y coefficient of 5K. With K chosen so
+  // that 3K fits in int64 but 5K does not, the scaling steps succeed
+  // and the addition overflows — it must die with a named diagnostic,
+  // not wrap silently.
+  constexpr IntT K = 3'000'000'000'000'000'001; // odd: gcds stay 1
+  Space Sp;
+  Sp.add("x", VarKind::Loop);
+  Sp.add("y", VarKind::Loop);
+  System S(std::move(Sp));
+  AffineExpr Lower = S.varExpr(0);
+  Lower.scale(2);
+  AffineExpr Ky = S.varExpr(1);
+  Ky.scale(K);
+  Lower += Ky;
+  S.addGE(Lower);
+  AffineExpr Upper = S.varExpr(0);
+  Upper.scale(-3);
+  Upper += Ky;
+  S.addGE(Upper);
+  EXPECT_DEATH(S.fmEliminated(0), "Fourier-Motzkin");
+}
+
+TEST(FailureModeTest, FourierMotzkinLargeButSafeCoefficients) {
+  // Same shape with coefficients that stay inside int64: elimination
+  // must succeed and keep the surviving bound on y.
+  constexpr IntT K = 1'000'000'000'000'000'001;
+  Space Sp;
+  Sp.add("x", VarKind::Loop);
+  Sp.add("y", VarKind::Loop);
+  System S(std::move(Sp));
+  AffineExpr Lower = S.varExpr(0);
+  Lower.scale(2);
+  AffineExpr Ky = S.varExpr(1);
+  Ky.scale(K);
+  Lower += Ky;
+  S.addGE(Lower);
+  AffineExpr Upper = S.varExpr(0);
+  Upper.scale(-3);
+  Upper += Ky;
+  S.addGE(Upper);
+  System R = S.fmEliminated(0);
+  EXPECT_FALSE(R.involves(0));
+  ASSERT_EQ(R.numConstraints(), 1u);
+  // 5K*y >= 0, gcd-normalized to y >= 0.
+  EXPECT_EQ(R.constraints()[0].Expr.coeff(1), 1);
+}

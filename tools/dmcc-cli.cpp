@@ -17,6 +17,16 @@
 //     --no-self-reuse --no-group-reuse --no-multicast --no-aggressive
 //                            optimization ablations
 //
+//   Fault injection (simulation only; enables the reliable transport):
+//     --fault-seed S         deterministic fault-schedule seed
+//     --drop-rate R          P(a data/ack transmission is lost), 0..1
+//     --dup-rate R           P(a delivered packet is duplicated), 0..1
+//     --max-delay T          extra delivery delay, uniform in [0,T] secs
+//     --retry-timeout T      first retransmission timeout in seconds
+//     --max-retries N        retransmissions before giving up
+//     --slowdown F           per-processor compute slowdown in [1,F]
+//     --reliable             engage the transport even with zero rates
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/SpecParser.h"
@@ -39,7 +49,11 @@ int usage(const char *Argv0) {
                "[--print-comm] [--print-spmd]\n"
                "       [--simulate P] [--functional] [--param N=V]...\n"
                "       [--no-self-reuse] [--no-group-reuse] "
-               "[--no-multicast] [--no-aggressive]\n",
+               "[--no-multicast] [--no-aggressive]\n"
+               "       [--fault-seed S] [--drop-rate R] [--dup-rate R] "
+               "[--max-delay T]\n"
+               "       [--retry-timeout T] [--max-retries N] "
+               "[--slowdown F] [--reliable]\n",
                Argv0);
   return 2;
 }
@@ -54,6 +68,7 @@ int main(int Argc, char **Argv) {
   bool PrintSpmd = false, Functional = false;
   IntT SimProcs = 0;
   CompilerOptions Opts;
+  FaultOptions Faults;
   std::map<std::string, IntT> Params;
 
   for (int I = 1; I < Argc; ++I) {
@@ -78,6 +93,22 @@ int main(int Argc, char **Argv) {
       Opts.AggressiveAggregation = false;
     else if (std::strcmp(A, "--simulate") == 0 && I + 1 < Argc)
       SimProcs = std::atoll(Argv[++I]);
+    else if (std::strcmp(A, "--fault-seed") == 0 && I + 1 < Argc)
+      Faults.Seed = std::strtoull(Argv[++I], nullptr, 10);
+    else if (std::strcmp(A, "--drop-rate") == 0 && I + 1 < Argc)
+      Faults.DropRate = std::atof(Argv[++I]);
+    else if (std::strcmp(A, "--dup-rate") == 0 && I + 1 < Argc)
+      Faults.DupRate = std::atof(Argv[++I]);
+    else if (std::strcmp(A, "--max-delay") == 0 && I + 1 < Argc)
+      Faults.MaxDelaySeconds = std::atof(Argv[++I]);
+    else if (std::strcmp(A, "--retry-timeout") == 0 && I + 1 < Argc)
+      Faults.RetryTimeoutSeconds = std::atof(Argv[++I]);
+    else if (std::strcmp(A, "--max-retries") == 0 && I + 1 < Argc)
+      Faults.MaxRetries = static_cast<unsigned>(std::atoll(Argv[++I]));
+    else if (std::strcmp(A, "--slowdown") == 0 && I + 1 < Argc)
+      Faults.MaxSlowdown = std::atof(Argv[++I]);
+    else if (std::strcmp(A, "--reliable") == 0)
+      Faults.AlwaysReliable = true;
     else if (std::strcmp(A, "--param") == 0 && I + 1 < Argc) {
       const char *Eq = std::strchr(Argv[++I], '=');
       if (!Eq) {
@@ -153,6 +184,7 @@ int main(int Argc, char **Argv) {
     SO.ParamValues = Params;
     SO.Functional = Functional;
     SO.CollapseLoops = !Functional;
+    SO.Faults = Faults;
     Simulator Sim(P, CP, SP.Spec, SO);
     SimResult R = Sim.run();
     if (!R.Ok) {
@@ -165,6 +197,14 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(R.Messages),
                 static_cast<unsigned long long>(R.Words),
                 static_cast<unsigned long long>(R.Flops));
+    if (Faults.transportActive() || Faults.faulty())
+      std::printf("transport (%u channels): %llu retransmissions, %llu "
+                  "dropped, %llu duplicates suppressed, %llu acks\n",
+                  CP.Stats.NumCommChannels,
+                  static_cast<unsigned long long>(R.Retransmissions),
+                  static_cast<unsigned long long>(R.DroppedPackets),
+                  static_cast<unsigned long long>(R.DuplicatesSuppressed),
+                  static_cast<unsigned long long>(R.AcksSent));
     if (Functional) {
       SeqInterpreter Gold(P, Params);
       Gold.run();
