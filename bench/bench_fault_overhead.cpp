@@ -35,13 +35,15 @@ for i1 = 0 to N {
 }
 )";
 
-SimOptions simOpts(IntT Procs, IntT N, bool Functional, FaultOptions F) {
+SimOptions simOpts(IntT Procs, IntT N, bool Functional, FaultOptions F,
+                   CheckpointOptions CK = {}) {
   SimOptions SO;
   SO.PhysGrid = {Procs};
   SO.ParamValues = {{"N", N}};
   SO.Functional = Functional;
   SO.CollapseLoops = !Functional;
   SO.Faults = F;
+  SO.Checkpoint = CK;
   return SO;
 }
 
@@ -145,5 +147,37 @@ int main() {
               "the ack-only row is\npure stop-and-wait protocol cost. "
               "Message/word counters stay logical, so wire\noverhead "
               "appears only in the retransmission and ack columns.\n");
+
+  // Crash leg: packet loss plus crash-stop failures with checkpoint/
+  // restart recovery; the result must still be bit-exact.
+  {
+    const IntT CN = 32;
+    FaultOptions F;
+    F.Seed = 42;
+    F.DropRate = 0.05;
+    F.CrashRate = 1e-4;
+    F.CrashSeed = 7;
+    CheckpointOptions CK;
+    CK.IntervalSteps = 10000;
+    Simulator Sim(P, CP, Spec, simOpts(4, CN, true, F, CK));
+    SimResult R = Sim.run();
+    if (!R.Ok) {
+      std::printf("crash leg failed: %s\n", R.Error.c_str());
+      return 1;
+    }
+    unsigned Bad = verify(P, Sim, CN);
+    std::printf("\ncrash leg (N = %lld, P = 4, drop = 0.05, crash = 1e-4, "
+                "checkpoint every %llu steps):\n  %s; %llu crashes, "
+                "%llu rollbacks, %llu checkpoints, %llu steps replayed\n",
+                static_cast<long long>(CN),
+                static_cast<unsigned long long>(CK.IntervalSteps),
+                Bad == 0 ? "bit-exact" : "MISMATCH",
+                static_cast<unsigned long long>(R.Recovery.Crashes),
+                static_cast<unsigned long long>(R.Recovery.Rollbacks),
+                static_cast<unsigned long long>(R.Recovery.CheckpointsTaken),
+                static_cast<unsigned long long>(R.Recovery.ReplayedSteps));
+    if (Bad != 0)
+      return 1;
+  }
   return 0;
 }

@@ -223,11 +223,19 @@ CompiledProgram dmcc::compile(const Program &P, const CompileSpec &Spec,
         return SP;
     fatalError("compile: missing computation decomposition");
   };
-#ifndef NDEBUG
+  // A computation decomposition must map each iteration to exactly one
+  // processor (Definition 2). A replicated dimension would silently run
+  // every iteration on multiple processors, so reject the spec loudly
+  // in every build type instead of asserting in debug only.
   for (const StmtPlan &SP : Spec.Stmts)
-    assert(SP.Comp.isUnique() &&
-           "computation decompositions must be unique (Definition 2)");
-#endif
+    if (!SP.Comp.isUnique()) {
+      Out.Ok = false;
+      Out.ErrorMessage =
+          "computation decomposition for S" + std::to_string(SP.StmtId) +
+          " is not unique: every iteration must map to exactly one "
+          "processor (Definition 2)";
+      return Out;
+    }
 
   std::vector<Placed> Comms;
   std::vector<FlowDep> Deps;

@@ -73,6 +73,12 @@ struct CompileStats {
 
 /// The compilation result.
 struct CompiledProgram {
+  /// False when the spec was rejected before compilation (e.g. a
+  /// non-unique computation decomposition): Spmd/Comms are empty and
+  /// ErrorMessage names the offending statement. Checked in all build
+  /// types — never a release-silent assert.
+  bool Ok = true;
+  std::string ErrorMessage;
   SpmdProgram Spmd;
   std::vector<CommPlan> Comms; ///< indexed by CommId
   CompileStats Stats;

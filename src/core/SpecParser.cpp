@@ -164,8 +164,15 @@ Decomposition dataDecompOf(const Program &P, unsigned ArrayId,
 SpecParseOutput dmcc::parseWithSpec(const std::string &Source) {
   SpecParseOutput Out;
 
-  // Separate directive lines from program source.
-  std::vector<std::pair<unsigned, std::string>> Directives;
+  // Separate directive lines from program source. Each directive keeps
+  // its line number and leading indent so errors can point at the
+  // original source position.
+  struct Directive {
+    unsigned No = 0;     ///< 1-based source line
+    unsigned Indent = 0; ///< columns stripped before the keyword
+    std::string Text;
+  };
+  std::vector<Directive> Directives;
   std::string ProgSource;
   std::istringstream In(Source);
   std::string Line;
@@ -181,27 +188,36 @@ SpecParseOutput dmcc::parseWithSpec(const std::string &Source) {
       size_t Semi = Trim.find(';');
       if (Semi != std::string::npos)
         Trim = Trim.substr(0, Semi);
-      Directives.emplace_back(LineNo, Trim);
+      Directives.push_back(
+          Directive{LineNo, static_cast<unsigned>(First), Trim});
       ProgSource += "\n";
     } else {
       ProgSource += Line + "\n";
     }
   }
 
+  // Directive lines became blank lines in ProgSource, so the frontend's
+  // line numbers map 1:1 onto the annotated source.
   ParseOutput PO = parseProgram(ProgSource);
   if (!PO.ok()) {
     Out.Error = PO.Error;
+    Out.ErrorLine = PO.ErrorLine;
     return Out;
   }
   Program &P = *PO.Prog;
   Out.ParamDefaults = std::move(PO.ParamDefaults);
 
   std::map<unsigned, MappingClause> ComputeClauses;
-  for (auto &[No, D] : Directives) {
-    DirectiveLexer L{D, 0};
+  std::map<unsigned, unsigned> ComputeLines; ///< SId -> directive line
+  for (const Directive &Dir : Directives) {
+    DirectiveLexer L{Dir.Text, 0};
     std::string Kw = L.word();
     auto fail = [&](const std::string &Msg) {
-      Out.Error = "line " + std::to_string(No) + ": " + Msg;
+      Out.Error = Msg;
+      Out.ErrorLine = Dir.No;
+      // The lexer position where parsing stopped, back in the original
+      // line's coordinates (1-based).
+      Out.ErrorCol = Dir.Indent + static_cast<unsigned>(L.Pos) + 1;
     };
     if (Kw == "decompose" || Kw == "final") {
       std::string Arr = L.word();
@@ -262,6 +278,7 @@ SpecParseOutput dmcc::parseWithSpec(const std::string &Source) {
         return Out;
       }
       ComputeClauses[SId] = M;
+      ComputeLines[SId] = Dir.No;
     }
     if (!L.atEnd()) {
       fail("trailing characters in directive");
@@ -271,6 +288,14 @@ SpecParseOutput dmcc::parseWithSpec(const std::string &Source) {
 
   // Resolve computation decompositions; default to owner-computes on the
   // written array.
+  auto failResolve = [&](unsigned S, const std::string &Msg) {
+    Out.Error = Msg;
+    // Point at the compute directive when there is one; a defaulted
+    // owner-computes has no source line to blame.
+    auto It = ComputeLines.find(S);
+    Out.ErrorLine = It == ComputeLines.end() ? 0 : It->second;
+    Out.ErrorCol = 0;
+  };
   for (unsigned S = 0; S != P.numStatements(); ++S) {
     auto It = ComputeClauses.find(S);
     MappingClause M;
@@ -283,39 +308,40 @@ SpecParseOutput dmcc::parseWithSpec(const std::string &Source) {
     if (M.K == MappingClause::Kind::Owner) {
       int AId = P.arrayIdOf(M.OwnerArray);
       if (AId < 0) {
-        Out.Error = "compute S" + std::to_string(S) + ": unknown array '" +
-                    M.OwnerArray + "'";
+        failResolve(S, "compute S" + std::to_string(S) +
+                           ": unknown array '" + M.OwnerArray + "'");
         return Out;
       }
       auto DIt = Out.Spec.InitialData.find(static_cast<unsigned>(AId));
       if (DIt == Out.Spec.InitialData.end()) {
-        Out.Error = "compute S" + std::to_string(S) + ": owner(" +
-                    M.OwnerArray + ") needs a decompose directive";
+        failResolve(S, "compute S" + std::to_string(S) + ": owner(" +
+                           M.OwnerArray +
+                           ") needs a decompose directive");
         return Out;
       }
       if (P.statement(S).Write.ArrayId != static_cast<unsigned>(AId)) {
-        Out.Error = "compute S" + std::to_string(S) +
-                    ": owner() must name the written array";
+        failResolve(S, "compute S" + std::to_string(S) +
+                           ": owner() must name the written array");
         return Out;
       }
       if (!DIt->second.isUnique()) {
-        Out.Error = "compute S" + std::to_string(S) +
-                    ": owner-computes requires the written data not be "
-                    "replicated (Section 2.2.1); give an explicit "
-                    "compute directive";
+        failResolve(S, "compute S" + std::to_string(S) +
+                           ": owner-computes requires the written data "
+                           "not be replicated (Section 2.2.1); give an "
+                           "explicit compute directive");
         return Out;
       }
       Out.Spec.Stmts.push_back(
           StmtPlan{S, ownerComputes(P, S, DIt->second)});
     } else if (M.K == MappingClause::Kind::Replicated) {
-      Out.Error = "compute S" + std::to_string(S) +
-                  ": computation cannot be replicated";
+      failResolve(S, "compute S" + std::to_string(S) +
+                         ": computation cannot be replicated");
       return Out;
     } else {
       unsigned Depth = P.statement(S).depth();
       if (M.Dim < 0 || static_cast<unsigned>(M.Dim) >= Depth) {
-        Out.Error = "compute S" + std::to_string(S) +
-                    ": loop position out of range";
+        failResolve(S, "compute S" + std::to_string(S) +
+                           ": loop position out of range");
         return Out;
       }
       Out.Spec.Stmts.push_back(StmtPlan{

@@ -41,6 +41,13 @@ struct SpecParseOutput {
   CompileSpec Spec;
   std::map<std::string, IntT> ParamDefaults;
   std::string Error; ///< empty on success
+  /// Source position of the error, matching the frontend Parser's
+  /// ErrorLine convention: 1-based line in the annotated source
+  /// (directive lines keep their original numbering), 0 when unknown.
+  /// ErrorCol is the 1-based column within that line, 0 when the error
+  /// spans the whole directive (e.g. a resolution-phase failure).
+  unsigned ErrorLine = 0;
+  unsigned ErrorCol = 0;
 
   bool ok() const { return Prog.has_value(); }
 };

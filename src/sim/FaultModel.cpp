@@ -27,6 +27,7 @@ enum Stream : uint64_t {
   DupStream = 0x33,
   DelayStream = 0x44,
   SlowStream = 0x55,
+  CrashStream = 0x66,
 };
 
 } // namespace
@@ -43,12 +44,17 @@ uint64_t FaultModel::channelId(unsigned CommId,
   return H;
 }
 
-double FaultModel::unit(uint64_t A, uint64_t B, uint64_t C,
-                        uint64_t D) const {
-  uint64_t H = combine(combine(combine(combine(mix64(Opt.Seed), A), B), C),
+double FaultModel::unitWith(uint64_t SeedV, uint64_t A, uint64_t B,
+                            uint64_t C, uint64_t D) const {
+  uint64_t H = combine(combine(combine(combine(mix64(SeedV), A), B), C),
                        D);
   // 53 high bits -> double in [0, 1).
   return static_cast<double>(H >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double FaultModel::unit(uint64_t A, uint64_t B, uint64_t C,
+                        uint64_t D) const {
+  return unitWith(Opt.Seed, A, B, C, D);
 }
 
 bool FaultModel::dropData(uint64_t Chan, uint64_t Seq,
@@ -79,6 +85,12 @@ double FaultModel::slowdown(unsigned Phys) const {
   if (Opt.MaxSlowdown <= 1.0)
     return 1.0;
   return 1.0 + unit(SlowStream, Phys, 0, 0) * (Opt.MaxSlowdown - 1.0);
+}
+
+bool FaultModel::crashAt(unsigned Vp, uint64_t Step) const {
+  if (Opt.CrashRate <= 0)
+    return false;
+  return unitWith(Opt.CrashSeed, CrashStream, Vp, Step, 0) < Opt.CrashRate;
 }
 
 double FaultModel::backoffDelay(unsigned Attempt) const {

@@ -41,6 +41,15 @@ struct FaultOptions {
   /// [1, MaxSlowdown]; 1 disables the fault.
   double MaxSlowdown = 1.0;
 
+  /// Crash-stop schedule: P(a virtual processor dies immediately before
+  /// executing one of its logical steps). A dead processor executes
+  /// nothing further and its volatile state is lost; recovery needs the
+  /// simulator's checkpoint/restart layer (SimOptions::Checkpoint).
+  double CrashRate = 0;
+  /// Seed of the crash-stop schedule, independent of the network-fault
+  /// seed so crash placement can be swept with the packet faults fixed.
+  uint64_t CrashSeed = 0;
+
   /// Reliable-transport tuning: time the sender waits for an ack before
   /// the first retransmission; doubles (BackoffFactor) per retry.
   double RetryTimeoutSeconds = 500e-6;
@@ -55,14 +64,16 @@ struct FaultOptions {
   /// True if any fault can actually occur.
   bool faulty() const {
     return DropRate > 0 || DupRate > 0 || MaxDelaySeconds > 0 ||
-           MaxSlowdown > 1.0;
+           MaxSlowdown > 1.0 || CrashRate > 0;
   }
   /// True if the simulator must route messages through the reliable
   /// transport instead of the ideal zero-overhead network. A pure
-  /// compute slowdown does not need acknowledged delivery.
+  /// compute slowdown does not need acknowledged delivery; crash-stop
+  /// recovery does — the per-channel sequence numbers define the
+  /// rollback line and absorb messages resent during replay.
   bool transportActive() const {
     return DropRate > 0 || DupRate > 0 || MaxDelaySeconds > 0 ||
-           AlwaysReliable;
+           CrashRate > 0 || AlwaysReliable;
   }
 };
 
@@ -99,8 +110,19 @@ public:
   /// RetryTimeoutSeconds * BackoffFactor^(Attempt - 1).
   double backoffDelay(unsigned Attempt) const;
 
+  /// Does virtual processor \p Vp die immediately before executing its
+  /// logical step \p Step? Pure in (CrashSeed, Vp, Step), so a crash
+  /// schedule is bit-for-bit reproducible and independent of scheduler
+  /// interleaving. The simulator honors only the first hit per
+  /// processor: a restarted incarnation is assumed reliable, bounding
+  /// the number of rollbacks by the processor count.
+  bool crashAt(unsigned Vp, uint64_t Step) const;
+
 private:
-  /// Uniform value in [0, 1) from the seed and a 4-part identity.
+  /// Uniform value in [0, 1) from \p SeedV and a 4-part identity.
+  double unitWith(uint64_t SeedV, uint64_t A, uint64_t B, uint64_t C,
+                  uint64_t D) const;
+  /// Uniform value in [0, 1) from the fault seed and a 4-part identity.
   double unit(uint64_t A, uint64_t B, uint64_t C, uint64_t D) const;
 
   FaultOptions Opt;

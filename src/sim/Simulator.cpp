@@ -61,12 +61,19 @@ struct Simulator::Frame {
 
 struct Simulator::VirtProc {
   std::vector<IntT> Coord;
+  unsigned Id = 0;   ///< flat index in Procs: crash-schedule identity
   unsigned Phys = 0;
   std::vector<IntT> Env;
   std::vector<IntT> ProgEnv;
   std::vector<Frame> Stack;
   bool Finished = false;
   bool Blocked = false;
+  /// Killed by the crash-stop schedule and not yet rolled back: executes
+  /// nothing, and its volatile state below is considered lost.
+  bool Crashed = false;
+  /// Logical time: statements this incarnation has executed. Restored on
+  /// rollback, so replay passes through the same (proc, step) points.
+  uint64_t Steps = 0;
   /// What this processor was waiting for the last time it blocked; the
   /// deadlock detector reads it to build the structured diagnostic.
   PendingRecv LastBlock;
@@ -81,6 +88,44 @@ struct Simulator::VirtProc {
   int CachedPackComm = -1;
   std::vector<double> CachedData;
   uint64_t CachedCount = 0;
+};
+
+/// One coordinated checkpoint in the stable store: everything a rollback
+/// must restore. Taken at statement boundaries between scheduler rounds,
+/// so it is a consistent cut by construction; the receive queues stand in
+/// for the channel state a distributed protocol would record with
+/// markers. Clocks and the monotonic overhead counters are deliberately
+/// absent — wall-model time and wasted wire traffic never rewind.
+struct Simulator::Checkpoint {
+  struct ProcState {
+    std::vector<IntT> Env, ProgEnv;
+    std::vector<Frame> Stack;
+    bool Finished = false;
+    uint64_t Steps = 0;
+    std::map<std::pair<unsigned, IntT>, double> Store;
+    int LastMulticastComm = -1;
+    std::set<unsigned> BurstPhys;
+    double BurstReady = 0;
+    int CachedPackComm = -1;
+    std::vector<double> CachedData;
+    uint64_t CachedCount = 0;
+  };
+  std::vector<ProcState> Procs;
+  std::map<std::vector<IntT>, std::vector<Message>> Queues;
+  std::map<std::vector<IntT>, uint64_t> SendSeq, RecvSeq;
+  std::vector<TransportFailure> Failures;
+  /// Logical counters at the checkpoint line; a rollback rewinds the
+  /// result's counters to these so recovered runs report the same
+  /// logical traffic as fault-free ones.
+  uint64_t Messages = 0, IntraMessages = 0, Words = 0, Flops = 0,
+           ComputeIterations = 0;
+  /// Useful-work bucket values at the line; the delta at rollback is the
+  /// undone work that moves into the recovery bucket.
+  std::vector<double> BusyCompute, BusyProtocol, BusyCheckpoint;
+  uint64_t EventsAtTaken = 0;
+  /// Snapshot size per physical processor in 8-byte words, charged again
+  /// as the stable-store read on restore.
+  std::vector<uint64_t> WordsPerPhys;
 };
 
 //===----------------------------------------------------------------------===//
@@ -115,6 +160,7 @@ Simulator::Simulator(const Program &P, const CompiledProgram &CP,
   while (!Done) {
     VirtProc V;
     V.Coord = Coord;
+    V.Id = static_cast<unsigned>(Procs.size());
     V.Phys = physOf(Coord);
     V.Env = ParamEnv;
     for (unsigned D = 0; D != Dims; ++D)
@@ -142,6 +188,10 @@ Simulator::Simulator(const Program &P, const CompiledProgram &CP,
     PhysCount = mulChk(PhysCount, G);
   PhysClock.assign(PhysCount, 0.0);
   PhysBusy.assign(PhysCount, 0.0);
+  BusyCompute.assign(PhysCount, 0.0);
+  BusyProtocol.assign(PhysCount, 0.0);
+  BusyCheckpoint.assign(PhysCount, 0.0);
+  HasCrashed.assign(Procs.size(), 0);
   SlowFactor.assign(PhysCount, 1.0);
   if (this->Opts.Faults.MaxSlowdown > 1.0)
     for (unsigned Ph = 0; Ph != static_cast<unsigned>(PhysCount); ++Ph)
@@ -402,7 +452,12 @@ void Simulator::execComputeIter(VirtProc &V, const SpmdStmt &St) {
 
 bool Simulator::stepProc(VirtProc &V, SimResult &R) {
   bool Ran = false;
-  unsigned Slice = 200000;
+  // Short slices when crashes or checkpoints are in play: both trigger
+  // at round boundaries, so the boundary spacing bounds how stale a
+  // crash detection or a checkpoint line can be.
+  const bool CrashActive = Opts.Faults.CrashRate > 0;
+  unsigned Slice =
+      (CrashActive || Opts.Checkpoint.enabled()) ? 512 : 200000;
   double &Clock = PhysClock[V.Phys];
   double &Busy = PhysBusy[V.Phys];
   // Injected per-processor slowdown; exactly 1.0 (cost-neutral) unless
@@ -506,8 +561,25 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
       continue;
     }
     const SpmdStmt &St = (*F.List)[F.Pos];
+    if (NextCheckpointEvents != 0 && Events >= NextCheckpointEvents)
+      // A checkpoint is due: pause at this statement boundary so the
+      // scheduler can draw the line once every processor has yielded.
+      return Ran;
+    if (CrashActive && !HasCrashed[V.Id] && Faults.crashAt(V.Id, V.Steps)) {
+      // Crash-stop failure: the processor dies immediately before this
+      // statement and executes nothing further. HasCrashed survives the
+      // rollback, so the restarted incarnation replays through this
+      // point unharmed — one crash per processor, which bounds the
+      // number of rollbacks by the processor count.
+      HasCrashed[V.Id] = 1;
+      V.Crashed = true;
+      CrashLog.push_back(CrashEvent{V.Coord, V.Phys, V.Steps, Clock});
+      ++R.Recovery.Crashes;
+      return Ran;
+    }
     if (++Events > Opts.MaxEvents)
       fatalError("simulation event budget exhausted");
+    ++V.Steps;
     switch (St.K) {
     case SpmdStmt::Kind::Seq: {
       ++F.Pos;
@@ -533,6 +605,7 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
           }
         Clock += Trip * C * SF;
         Busy += Trip * C * SF;
+        BusyCompute[V.Phys] += Trip * C * SF;
         break;
       }
       V.Env[St.Var] = Lo;
@@ -565,6 +638,7 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
       double C = statementCost(P.statement(St.StmtId)) * SF;
       Clock += C;
       Busy += C;
+      BusyCompute[V.Phys] += C;
       R.Flops += countFlops(P.statement(St.StmtId));
       ++R.ComputeIterations;
       V.LastMulticastComm = -1;
@@ -611,10 +685,24 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
       for (IntT C2 : Dst)
         Key.push_back(C2);
       if (Intra && Opts.FreeIntraPhysical) {
-        // A local memory move: never exposed to network faults.
+        // A local memory move: never exposed to network faults, but
+        // still sequenced when the transport is engaged — the receive
+        // path matches sequence numbers on every channel, and the
+        // rollback line is defined by a uniform per-channel cursor.
         ++R.IntraMessages;
         M.ReadyTime = Clock;
-        Queues[Key].push_back(std::move(M));
+        if (Faults.active()) {
+          M.Seq = SendSeq[Key]++;
+          if (M.Seq < RecvSeq[Key]) {
+            // Replay of a send the receiver consumed before the
+            // rollback line: suppressed on arrival.
+            ++R.DuplicatesSuppressed;
+          } else {
+            Queues[Key].push_back(std::move(M));
+          }
+        } else {
+          Queues[Key].push_back(std::move(M));
+        }
       } else if (Faults.active()) {
         // Reliable transport: stop-and-wait per packet with acks and
         // bounded exponential-backoff retransmission. Every receiver is
@@ -623,6 +711,12 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
         uint64_t Chan = FaultModel::channelId(St.CommId, V.Coord, Dst);
         uint64_t Seq = SendSeq[Key]++;
         M.Seq = Seq;
+        // During post-rollback replay the receiver may already be past
+        // this sequence number (it consumed the original before the
+        // checkpoint line): deliveries are then acknowledged but
+        // suppressed on arrival, never enqueued. Impossible outside
+        // replay — a fresh sequence number is never below the window.
+        const bool BelowWindow = Seq < RecvSeq[Key];
         double Start = Clock;
         double SendCost =
             (Opts.Cost.MsgLatency + M.WordCount * Opts.Cost.SendPerWord) *
@@ -642,16 +736,24 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
             continue;
           }
           Delivered = true;
-          Message Copy = M;
-          Copy.ReadyTime = Start + Offset + SendCost + DeliverLat +
-                           Faults.deliveryDelay(Chan, Seq, A, 0);
-          Queues[Key].push_back(std::move(Copy));
+          if (BelowWindow) {
+            ++R.DuplicatesSuppressed;
+          } else {
+            Message Copy = M;
+            Copy.ReadyTime = Start + Offset + SendCost + DeliverLat +
+                             Faults.deliveryDelay(Chan, Seq, A, 0);
+            Queues[Key].push_back(std::move(Copy));
+          }
           ++R.AcksSent; // the receiver acknowledges this copy
           if (Faults.duplicate(Chan, Seq, A)) {
-            Message Dup = M;
-            Dup.ReadyTime = Start + Offset + SendCost + DeliverLat +
-                            Faults.deliveryDelay(Chan, Seq, A, 1);
-            Queues[Key].push_back(std::move(Dup));
+            if (BelowWindow) {
+              ++R.DuplicatesSuppressed;
+            } else {
+              Message Dup = M;
+              Dup.ReadyTime = Start + Offset + SendCost + DeliverLat +
+                              Faults.deliveryDelay(Chan, Seq, A, 1);
+              Queues[Key].push_back(std::move(Dup));
+            }
             ++R.AcksSent;
           }
           if (!Faults.dropAck(Chan, Seq, A))
@@ -665,6 +767,7 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
         R.Words += M.WordCount;
         Clock += SendCost;
         Busy += SendCost * Made;
+        BusyProtocol[V.Phys] += SendCost * Made;
         if (!Delivered)
           Failures.push_back(
               TransportFailure{St.CommId, V.Coord, Dst, Seq, Made});
@@ -682,6 +785,7 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
           C = Opts.Cost.MsgLatency + M.WordCount * Opts.Cost.SendPerWord;
         Clock += C;
         Busy += C;
+        BusyProtocol[V.Phys] += C;
         ++R.Messages;
         R.Words += M.WordCount;
         M.ReadyTime =
@@ -745,6 +849,7 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
         V.LastBlock.BufferedAhead =
             It == Queues.end() ? 0 : It->second.size();
         --Events;
+        --V.Steps;
         return Ran;
       }
       Ran = true;
@@ -777,6 +882,7 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
       C *= SF;
       Clock += C;
       Busy += C;
+      BusyProtocol[V.Phys] += C;
       V.LastMulticastComm = -1;
       ++F.Pos;
       break;
@@ -792,18 +898,43 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
   return Ran;
 }
 
+void Simulator::fillRecoverySplit(SimResult &R) const {
+  R.Recovery.ComputeSeconds = 0;
+  R.Recovery.ProtocolSeconds = 0;
+  R.Recovery.CheckpointSeconds = 0;
+  for (unsigned Ph = 0, E = PhysClock.size(); Ph != E; ++Ph) {
+    R.Recovery.ComputeSeconds += BusyCompute[Ph];
+    R.Recovery.ProtocolSeconds += BusyProtocol[Ph];
+    R.Recovery.CheckpointSeconds += BusyCheckpoint[Ph];
+  }
+  R.Recovery.RecoverySeconds = RecoveryExtraSeconds;
+}
+
 SimResult Simulator::run() {
   SimResult R;
-  bool Progress = true;
-  while (Progress) {
-    Progress = false;
-    bool AllDone = true;
+  const bool Recovery = Opts.Checkpoint.enabled();
+  if (Recovery) {
+    // Free initial checkpoint: the staged input state itself is the
+    // rollback line until the first interval elapses.
+    NextCheckpointEvents = Opts.Checkpoint.IntervalSteps;
+    takeCheckpoint(R, /*Initial=*/true);
+  }
+  while (true) {
+    bool Progress = false, AllDone = true, AnyDead = false;
     for (VirtProc &V : Procs) {
+      if (V.Crashed) {
+        // Dead until a rollback reincarnates it.
+        AllDone = false;
+        AnyDead = true;
+        continue;
+      }
       if (V.Finished)
         continue;
       V.Blocked = false;
       if (stepProc(V, R))
         Progress = true;
+      if (V.Crashed)
+        AnyDead = true;
       if (!V.Finished)
         AllDone = false;
     }
@@ -811,8 +942,26 @@ SimResult Simulator::run() {
       R.Ok = true;
       break;
     }
+    // Coordinated checkpoint at the round boundary — a consistent cut
+    // by construction (every processor paused at a statement boundary
+    // once the interval elapsed). Never snapshot while a processor is
+    // dead: its volatile state is gone, and the pre-crash line must
+    // stay available for rollback.
+    if (Recovery && !AnyDead && Events >= NextCheckpointEvents) {
+      takeCheckpoint(R, /*Initial=*/false);
+      continue;
+    }
     if (!Progress) {
-      reportDeadlock(R);
+      // Machine stalled. With dead processors and a rollback line this
+      // is the (abstracted) failure detection point: roll back and
+      // replay. Anything else is terminal.
+      if (AnyDead && Recovery &&
+          R.Recovery.Rollbacks < Opts.Checkpoint.MaxRollbacks) {
+        restoreCheckpoint(R);
+        continue;
+      }
+      reportStall(R);
+      fillRecoverySplit(R);
       return R;
     }
   }
@@ -828,6 +977,7 @@ SimResult Simulator::run() {
     R.Diag.FinishedProcs = Procs.size();
     R.Error = "unconsumed messages remain in the network (" +
               std::to_string(Leftover) + " copies)";
+    fillRecoverySplit(R);
     return R;
   }
   if (!Failures.empty()) {
@@ -840,6 +990,7 @@ SimResult Simulator::run() {
     R.Error = "transport gave up on " +
               std::to_string(Failures.size()) +
               " packet(s) nobody was waiting for";
+    fillRecoverySplit(R);
     return R;
   }
   R.TotalEvents = Events;
@@ -847,7 +998,178 @@ SimResult Simulator::run() {
   for (double C : PhysClock)
     R.MakespanSeconds = std::max(R.MakespanSeconds, C);
   R.PhysBusy = PhysBusy;
+  fillRecoverySplit(R);
   return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint / restart
+//===----------------------------------------------------------------------===//
+
+void Simulator::takeCheckpoint(SimResult &R, bool Initial) {
+  const unsigned Dims = CP.Spmd.GridDims;
+  auto CK = std::make_unique<Checkpoint>();
+  CK->Procs.reserve(Procs.size());
+  std::vector<uint64_t> WordsPerPhys(PhysClock.size(), 0);
+  for (const VirtProc &V : Procs) {
+    Checkpoint::ProcState PS;
+    PS.Env = V.Env;
+    PS.ProgEnv = V.ProgEnv;
+    PS.Stack = V.Stack;
+    PS.Finished = V.Finished;
+    PS.Steps = V.Steps;
+    PS.Store = V.Store;
+    PS.LastMulticastComm = V.LastMulticastComm;
+    PS.BurstPhys = V.BurstPhys;
+    PS.BurstReady = V.BurstReady;
+    PS.CachedPackComm = V.CachedPackComm;
+    PS.CachedData = V.CachedData;
+    PS.CachedCount = V.CachedCount;
+    // Snapshot footprint: array partition + environments + loop cursors
+    // (4 words per live frame) + the cached multicast packing.
+    WordsPerPhys[V.Phys] += V.Store.size() + V.Env.size() +
+                            V.ProgEnv.size() + 4 * V.Stack.size() +
+                            V.CachedData.size();
+    CK->Procs.push_back(std::move(PS));
+  }
+  CK->Queues = Queues;
+  for (const auto &[Key, Q] : Queues) {
+    // Receive buffers are part of the channel state; they are
+    // checkpointed where they live, on the receiver.
+    std::vector<IntT> DstCoord(Key.end() - Dims, Key.end());
+    unsigned Ph = physOf(DstCoord);
+    for (const Message &M : Q)
+      WordsPerPhys[Ph] += M.WordCount + 2; // payload + header
+  }
+  CK->SendSeq = SendSeq;
+  CK->RecvSeq = RecvSeq;
+  CK->Failures = Failures;
+  CK->Messages = R.Messages;
+  CK->IntraMessages = R.IntraMessages;
+  CK->Words = R.Words;
+  CK->Flops = R.Flops;
+  CK->ComputeIterations = R.ComputeIterations;
+  CK->EventsAtTaken = Events;
+  CK->WordsPerPhys = WordsPerPhys;
+
+  uint64_t TotalWords = 0;
+  for (uint64_t W : WordsPerPhys)
+    TotalWords += W;
+  ++R.Recovery.CheckpointsTaken;
+  R.Recovery.CheckpointBytes += TotalWords * 8;
+
+  if (!Initial) {
+    // Coordinated: every processor synchronizes at the line, then
+    // writes its state to the stable store.
+    double Line = 0;
+    for (double C : PhysClock)
+      Line = std::max(Line, C);
+    for (unsigned Ph = 0, E = PhysClock.size(); Ph != E; ++Ph) {
+      double C = Opts.Checkpoint.LatencySeconds +
+                 static_cast<double>(WordsPerPhys[Ph]) *
+                     Opts.Checkpoint.PerWordSeconds;
+      PhysClock[Ph] = Line + C;
+      PhysBusy[Ph] += C;
+      BusyCheckpoint[Ph] += C;
+    }
+  }
+  // Bucket snapshot taken after charging: the checkpoint's own cost is
+  // inside its line and is never treated as undone work.
+  CK->BusyCompute = BusyCompute;
+  CK->BusyProtocol = BusyProtocol;
+  CK->BusyCheckpoint = BusyCheckpoint;
+
+  Stable = std::move(CK);
+  NextCheckpointEvents = Events + Opts.Checkpoint.IntervalSteps;
+  ReplayBaseEvents = Events;
+}
+
+void Simulator::restoreCheckpoint(SimResult &R) {
+  const Checkpoint &CK = *Stable;
+  ++R.Recovery.Rollbacks;
+  R.Recovery.ReplayedSteps += Events - ReplayBaseEvents;
+  R.Recovery.ReplayedMessages +=
+      (R.Messages + R.IntraMessages) - (CK.Messages + CK.IntraMessages);
+
+  // Work done past the line is undone: move it into the recovery bucket
+  // so Compute/Protocol/Checkpoint keep charging each useful unit once.
+  for (unsigned Ph = 0, E = PhysClock.size(); Ph != E; ++Ph)
+    RecoveryExtraSeconds += (BusyCompute[Ph] - CK.BusyCompute[Ph]) +
+                            (BusyProtocol[Ph] - CK.BusyProtocol[Ph]) +
+                            (BusyCheckpoint[Ph] - CK.BusyCheckpoint[Ph]);
+  BusyCompute = CK.BusyCompute;
+  BusyProtocol = CK.BusyProtocol;
+  BusyCheckpoint = CK.BusyCheckpoint;
+
+  // Rewind the logical counters: a recovered run reports the same
+  // logical traffic and arithmetic as a fault-free one. The wire-level
+  // transport counters stay monotonic.
+  R.Messages = CK.Messages;
+  R.IntraMessages = CK.IntraMessages;
+  R.Words = CK.Words;
+  R.Flops = CK.Flops;
+  R.ComputeIterations = CK.ComputeIterations;
+  Failures = CK.Failures;
+
+  // Reincarnate every processor from its snapshot. HasCrashed is NOT
+  // restored: a processor's one scheduled crash stays spent, so replay
+  // passes through the crash point unharmed.
+  for (unsigned I = 0, E = Procs.size(); I != E; ++I) {
+    VirtProc &V = Procs[I];
+    const Checkpoint::ProcState &PS = CK.Procs[I];
+    V.Env = PS.Env;
+    V.ProgEnv = PS.ProgEnv;
+    V.Stack = PS.Stack;
+    V.Finished = PS.Finished;
+    V.Steps = PS.Steps;
+    V.Store = PS.Store;
+    V.LastMulticastComm = PS.LastMulticastComm;
+    V.BurstPhys = PS.BurstPhys;
+    V.BurstReady = PS.BurstReady;
+    V.CachedPackComm = PS.CachedPackComm;
+    V.CachedData = PS.CachedData;
+    V.CachedCount = PS.CachedCount;
+    V.Crashed = false;
+    V.Blocked = false;
+  }
+
+  // Channel state: the checkpointed receive buffers, plus whatever was
+  // still in flight from sends made after the line (sequence number at
+  // or past the checkpointed sender cursor — those sends will NOT be
+  // replayed from a pre-line sender state, so their copies must
+  // survive). Copies below the line are replaced by the snapshot's own
+  // queue contents; replayed sends that the receiver already consumed
+  // are suppressed on arrival by the sequence-number window.
+  std::map<std::vector<IntT>, std::vector<Message>> Merged = CK.Queues;
+  for (auto &[Key, Q] : Queues) {
+    auto It = CK.SendSeq.find(Key);
+    uint64_t Line = It == CK.SendSeq.end() ? 0 : It->second;
+    for (Message &M : Q)
+      if (M.Seq >= Line)
+        Merged[Key].push_back(std::move(M));
+  }
+  Queues = std::move(Merged);
+  SendSeq = CK.SendSeq;
+  RecvSeq = CK.RecvSeq;
+
+  // Clocks never rewind: survivors sit through the failure-detection
+  // window, then every processor reads the checkpoint back from the
+  // stable store.
+  double Line = 0;
+  for (double C : PhysClock)
+    Line = std::max(Line, C);
+  Line += Opts.Checkpoint.DetectSeconds;
+  RecoveryExtraSeconds += Opts.Checkpoint.DetectSeconds;
+  for (unsigned Ph = 0, E = PhysClock.size(); Ph != E; ++Ph) {
+    double C = Opts.Checkpoint.RestoreLatencySeconds +
+               static_cast<double>(CK.WordsPerPhys[Ph]) *
+                   Opts.Checkpoint.RestorePerWordSeconds;
+    PhysClock[Ph] = Line + C;
+    PhysBusy[Ph] += C;
+    RecoveryExtraSeconds += C;
+  }
+  ReplayBaseEvents = Events;
+  NextCheckpointEvents = Events + Opts.Checkpoint.IntervalSteps;
 }
 
 namespace {
@@ -866,18 +1188,45 @@ std::string coordStr(const std::vector<IntT> &C) {
 } // namespace
 
 std::string SimDiagnostics::str() const {
-  std::string S = "deadlock: " + std::to_string(StuckProcs.size()) +
-                  " of " + std::to_string(TotalProcs) +
-                  " virtual processors blocked on a receive with no "
-                  "deliverable message (" +
-                  std::to_string(FinishedProcs) + " finished)\n";
   constexpr unsigned MaxListed = 16;
+  std::string S;
+  if (!DeadProcs.empty()) {
+    S += "crash-stop failure: " + std::to_string(DeadProcs.size()) +
+         " of " + std::to_string(TotalProcs) +
+         " virtual processors dead\n";
+    for (unsigned I = 0; I != DeadProcs.size() && I != MaxListed; ++I) {
+      const CrashEvent &C = DeadProcs[I];
+      S += "  dead: vp" + coordStr(C.Coord) + " on phys " +
+           std::to_string(C.Phys) + ", killed before its logical step " +
+           std::to_string(C.AtStep) + "\n";
+    }
+    if (DeadProcs.size() > MaxListed)
+      S += "  ... and " + std::to_string(DeadProcs.size() - MaxListed) +
+           " more dead processors\n";
+    if (!RecoveryEnabled)
+      S += "  rollback line: none (checkpointing disabled — set "
+           "SimOptions::Checkpoint / --checkpoint-interval to recover)\n";
+    else if (!HasRollbackLine)
+      S += "  rollback line: none (no checkpoint taken yet)\n";
+    else
+      S += "  rollback line: global step " +
+           std::to_string(RollbackLineStep) + ", " +
+           std::to_string(RollbacksDone) +
+           " rollback(s) performed (rollback budget exhausted)\n";
+  }
+  S += "deadlock: " + std::to_string(StuckProcs.size()) + " of " +
+       std::to_string(TotalProcs) +
+       " virtual processors blocked on a receive with no "
+       "deliverable message (" +
+       std::to_string(FinishedProcs) + " finished)\n";
   for (unsigned I = 0; I != StuckProcs.size() && I != MaxListed; ++I) {
     const PendingRecv &Pr = StuckProcs[I];
     S += "  stuck: vp" + coordStr(Pr.Coord) + " on phys " +
          std::to_string(Pr.Phys) + ", waiting for comm " +
          std::to_string(Pr.CommId) + " from vp" + coordStr(Pr.Peer) +
          ", expecting seq " + std::to_string(Pr.ExpectedSeq);
+    if (Pr.PeerDead)
+      S += " (peer crashed)";
     if (Pr.BufferedAhead)
       S += ", " + std::to_string(Pr.BufferedAhead) +
            " buffered out of order";
@@ -903,17 +1252,40 @@ std::string SimDiagnostics::str() const {
   return S;
 }
 
-void Simulator::reportDeadlock(SimResult &R) const {
+void Simulator::reportStall(SimResult &R) const {
   R.Ok = false;
   SimDiagnostics &D = R.Diag;
   D.TotalProcs = Procs.size();
+  D.RecoveryEnabled = Opts.Checkpoint.enabled();
+  D.HasRollbackLine = Stable != nullptr;
+  if (Stable)
+    D.RollbackLineStep = Stable->EventsAtTaken;
+  D.RollbacksDone = static_cast<unsigned>(R.Recovery.Rollbacks);
+  std::set<std::vector<IntT>> Dead;
   for (const VirtProc &V : Procs) {
+    if (!V.Crashed)
+      continue;
+    Dead.insert(V.Coord);
+    // The newest crash of this processor (there is at most one per
+    // incarnation, and earlier ones were rolled back).
+    for (auto It = CrashLog.rbegin(); It != CrashLog.rend(); ++It)
+      if (It->Coord == V.Coord) {
+        D.DeadProcs.push_back(*It);
+        break;
+      }
+  }
+  for (const VirtProc &V : Procs) {
+    if (V.Crashed)
+      continue;
     if (V.Finished) {
       ++D.FinishedProcs;
       continue;
     }
-    if (V.Blocked)
-      D.StuckProcs.push_back(V.LastBlock);
+    if (V.Blocked) {
+      PendingRecv Pr = V.LastBlock;
+      Pr.PeerDead = Dead.count(Pr.Peer) != 0;
+      D.StuckProcs.push_back(Pr);
+    }
   }
   D.RetryExhausted = Failures;
   for (const auto &[Key, Q] : Queues)

@@ -28,6 +28,17 @@
 /// SimDiagnostics instead of a hang. With the default options the layer
 /// is bypassed and costs match the lossless machine exactly.
 ///
+/// On top of the lossy network the fault layer supports permanent
+/// crash-stop processor failures (FaultOptions::CrashRate) tolerated by
+/// a coordinated checkpoint/restart protocol (SimOptions::Checkpoint):
+/// at a configurable logical-step interval every virtual processor
+/// snapshots its partitions, cursors, receive buffers and transport
+/// sequence state to an in-simulator stable store; when a crash stalls
+/// the machine, all processors roll back to the last checkpoint and
+/// replay, the transport's duplicate suppression absorbing messages
+/// resent from before the rollback line (DESIGN.md §8). Results remain
+/// bit-exact under every recoverable crash schedule.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DMCC_SIM_SIMULATOR_H
@@ -38,6 +49,7 @@
 #include "sim/FaultModel.h"
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -57,6 +69,33 @@ struct CostModel {
   double MulticastExtraDest = 10e-6; ///< extra per additional destination
 };
 
+/// Coordinated checkpoint/restart configuration (DESIGN.md §8). With
+/// IntervalSteps == 0 the layer is disabled entirely: no snapshots are
+/// taken and a crash-stop failure is unrecoverable.
+struct CheckpointOptions {
+  /// Global logical-step (executed SPMD statement) interval between
+  /// coordinated checkpoints; 0 disables checkpointing and recovery.
+  /// An initial cost-free checkpoint of the starting state is always
+  /// taken when enabled, so a rollback line exists from step 0.
+  uint64_t IntervalSteps = 0;
+  /// Stable-store write cost per checkpoint per processor: fixed
+  /// latency plus a per-word charge for the snapshotted state.
+  double LatencySeconds = 1e-3;
+  double PerWordSeconds = 1e-6;
+  /// Stable-store read cost on rollback, same shape.
+  double RestoreLatencySeconds = 1e-3;
+  double RestorePerWordSeconds = 1e-6;
+  /// Stall-to-detection window charged once per rollback: the time the
+  /// survivors take to agree a peer is dead rather than slow.
+  double DetectSeconds = 5e-3;
+  /// Rollback budget: recovery attempts beyond this end the run with a
+  /// structured diagnostic instead of thrashing. Crash schedules honor
+  /// at most one crash per processor, so this is a secondary guard.
+  unsigned MaxRollbacks = 64;
+
+  bool enabled() const { return IntervalSteps > 0; }
+};
+
 /// Simulation configuration.
 struct SimOptions {
   /// Physical processors along each grid dimension.
@@ -74,6 +113,9 @@ struct SimOptions {
   /// Fault injection and reliable transport; defaults to a perfect
   /// network with the transport bypassed (zero overhead).
   FaultOptions Faults;
+  /// Coordinated checkpoint/restart; defaults to disabled (zero
+  /// overhead, no recovery from crash-stop failures).
+  CheckpointOptions Checkpoint;
   uint64_t MaxEvents = 6000000000ull; ///< runaway guard
 };
 
@@ -88,6 +130,17 @@ struct PendingRecv {
   /// Copies queued on the channel with a different (later) sequence
   /// number — arrived out of order, unusable until ExpectedSeq shows up.
   uint64_t BufferedAhead = 0;
+  /// The awaited sender was killed by the crash-stop schedule: this
+  /// message can never arrive without a rollback.
+  bool PeerDead = false;
+};
+
+/// A virtual processor killed by the crash-stop schedule.
+struct CrashEvent {
+  std::vector<IntT> Coord; ///< virtual-grid coordinate of the victim
+  unsigned Phys = 0;       ///< physical processor it was folded onto
+  uint64_t AtStep = 0;     ///< its logical step (executed stmts) at death
+  double AtTime = 0;       ///< its physical clock at death
 };
 
 /// A packet the reliable transport gave up on: every attempt (initial
@@ -105,11 +158,39 @@ struct TransportFailure {
 struct SimDiagnostics {
   std::vector<PendingRecv> StuckProcs;
   std::vector<TransportFailure> RetryExhausted;
+  /// Processors dead (crashed and not recovered) when the run ended.
+  std::vector<CrashEvent> DeadProcs;
+  /// Whether checkpoint/restart was configured, and where the last
+  /// rollback line was (global logical step of the newest checkpoint;
+  /// meaningful only when HasRollbackLine).
+  bool RecoveryEnabled = false;
+  bool HasRollbackLine = false;
+  uint64_t RollbackLineStep = 0;
+  unsigned RollbacksDone = 0; ///< recoveries performed before giving up
   uint64_t InFlightMessages = 0; ///< undelivered copies across channels
   uint64_t FinishedProcs = 0, TotalProcs = 0;
 
   /// Human-readable rendering ("deadlock: ... vp(1,2) waiting ...").
   std::string str() const;
+};
+
+/// Crash/checkpoint/recovery telemetry (DESIGN.md §8). All fields stay
+/// zero while crash-stop failures and checkpointing are disabled.
+struct RecoveryStats {
+  uint64_t CheckpointsTaken = 0; ///< coordinated snapshots, incl. initial
+  uint64_t CheckpointBytes = 0;  ///< bytes written to the stable store
+  uint64_t Crashes = 0;          ///< processors killed by the schedule
+  uint64_t Rollbacks = 0;        ///< coordinated restarts performed
+  uint64_t ReplayedSteps = 0;    ///< statements rolled back for re-execution
+  uint64_t ReplayedMessages = 0; ///< logical messages rolled back / resent
+  /// Wall-model busy-time split across all physical processors.
+  /// Compute/Protocol/Checkpoint charge each useful unit of work once:
+  /// work undone by a rollback is moved into RecoverySeconds, which also
+  /// carries failure-detection windows and stable-store restore costs.
+  double ComputeSeconds = 0;
+  double ProtocolSeconds = 0;
+  double CheckpointSeconds = 0;
+  double RecoverySeconds = 0;
 };
 
 /// Aggregate outcome of a simulation.
@@ -128,11 +209,18 @@ struct SimResult {
 
   // Reliable-transport counters (all zero when the transport is
   // bypassed). Messages/Words above stay logical (one per app-level
-  // send) so they remain comparable across fault schedules.
+  // send) so they remain comparable across fault schedules — a rollback
+  // rewinds them along with the program state, so a recovered run
+  // reports the same logical traffic as a fault-free one. The transport
+  // counters below are monotonic: they keep every wire-level event,
+  // including those of rolled-back epochs.
   uint64_t Retransmissions = 0;      ///< extra transmissions by senders
   uint64_t DroppedPackets = 0;       ///< data copies lost in flight
   uint64_t DuplicatesSuppressed = 0; ///< redundant copies discarded
   uint64_t AcksSent = 0;             ///< acknowledgements generated
+
+  /// Crash/checkpoint/restart telemetry.
+  RecoveryStats Recovery;
 };
 
 /// The machine simulator.
@@ -161,6 +249,7 @@ private:
   struct Frame;
   struct VirtProc;
   struct Message;
+  struct Checkpoint;
 
   IntT flatIndex(unsigned ArrayId, const std::vector<IntT> &Idx) const;
   void computeVirtualGrid();
@@ -169,7 +258,18 @@ private:
   void execComputeIter(VirtProc &V, const SpmdStmt &St);
   double statementCost(const Statement &S) const;
   unsigned physOf(const std::vector<IntT> &VirtCoord) const;
-  void reportDeadlock(SimResult &R) const;
+  void reportStall(SimResult &R) const;
+  /// Coordinated checkpoint: snapshot all processor, queue, counter and
+  /// transport state into the stable store, charging the cost model
+  /// (the initial step-0 checkpoint is free — the input staging).
+  void takeCheckpoint(SimResult &R, bool Initial);
+  /// Coordinated rollback: restore the last checkpoint, reincarnate
+  /// dead processors, rewind logical counters, move undone work into
+  /// the recovery bucket, and advance the clocks past detection and
+  /// stable-store restore costs.
+  void restoreCheckpoint(SimResult &R);
+  /// Sum the per-physical busy buckets into the result's telemetry.
+  void fillRecoverySplit(SimResult &R) const;
 
   const Program &P;
   const CompiledProgram &CP;
@@ -188,6 +288,23 @@ private:
   std::vector<double> PhysClock;
   std::vector<double> PhysBusy;
   std::vector<double> SlowFactor; ///< per-phys compute slowdown (>= 1)
+  /// Per-physical busy-time buckets for the recovery telemetry split.
+  /// Compute/Protocol/Checkpoint rewind with a rollback (their lost
+  /// share moves into the recovery total); RecoveryExtraSeconds is the
+  /// global monotonic remainder (detection windows, restore costs,
+  /// undone work).
+  std::vector<double> BusyCompute, BusyProtocol, BusyCheckpoint;
+  double RecoveryExtraSeconds = 0;
+  /// Crash-stop bookkeeping that survives rollbacks: which processors
+  /// have used their one crash (replay immunity), and every crash seen.
+  std::vector<char> HasCrashed;
+  std::vector<CrashEvent> CrashLog;
+  /// The stable store: the newest coordinated checkpoint, if any.
+  std::unique_ptr<Checkpoint> Stable;
+  uint64_t NextCheckpointEvents = 0; ///< global-step checkpoint trigger
+  /// Global step count at the last checkpoint or rollback, for the
+  /// replayed-steps telemetry.
+  uint64_t ReplayBaseEvents = 0;
   std::vector<IntT> ParamEnv; ///< parameter values aligned to Spmd space
   uint64_t Events = 0;        ///< executed SPMD statements (budget guard)
 };

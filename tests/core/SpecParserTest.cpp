@@ -136,6 +136,79 @@ for i = 0 to N - 1 { A[i] = 1; }
   EXPECT_FALSE(Bad.Error.empty());
 }
 
+TEST(SpecParserTest, ErrorsCarrySourcePosition) {
+  // A directive syntax error names its line (1-based, counting the
+  // leading blank line of the raw string) and the column where parsing
+  // stopped in the original, indented line.
+  SpecParseOutput Bad = parseWithSpec(R"(
+param N;
+array A[N];
+  decompose A block(0);
+for i = 0 to N - 1 { A[i] = 1; }
+)");
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.ErrorLine, 4u);
+  // "  decompose A block(0" stops at the ')' where ',' was expected.
+  EXPECT_EQ(Bad.ErrorCol, 22u);
+
+  // An unknown array in a directive points at the directive line.
+  Bad = parseWithSpec(R"(
+param N;
+array A[N];
+decompose Z block(0, 4);
+for i = 0 to N - 1 { A[i] = 1; }
+)");
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.ErrorLine, 4u);
+  EXPECT_GT(Bad.ErrorCol, 0u);
+
+  // A resolution-phase failure blames the compute directive's line,
+  // with no column (it concerns the whole clause).
+  Bad = parseWithSpec(R"(
+param N;
+array A[N];
+decompose A block(0, 4);
+compute S0 replicated;
+for i = 0 to N - 1 { A[i] = 1; }
+)");
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.ErrorLine, 5u);
+  EXPECT_EQ(Bad.ErrorCol, 0u);
+
+  // Frontend program errors flow through with their line intact
+  // (directive lines are blanked, not removed, so numbering matches).
+  Bad = parseWithSpec(R"(
+param N;
+array A[N];
+decompose A block(0, 4);
+for i = 0 to N - 1 { A[i] = ; }
+)");
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.ErrorLine, 5u);
+}
+
+TEST(SpecParserTest, NonUniqueComputationRejectedByCompiler) {
+  // A hand-built spec with a replicated computation decomposition must
+  // be rejected with a structured diagnostic in every build type, not
+  // a debug-only assert.
+  SpecParseOutput Out = parseWithSpec(R"(
+param N = 16;
+array A[N];
+decompose A block(0, 4);
+for i = 0 to N - 1 { A[i] = 1; }
+)");
+  ASSERT_TRUE(Out.ok()) << Out.Error;
+  Out.Spec.Stmts[0].Comp.setReplicated(0);
+  ASSERT_FALSE(Out.Spec.Stmts[0].Comp.isUnique());
+  CompiledProgram CP = compile(*Out.Prog, Out.Spec);
+  EXPECT_FALSE(CP.Ok);
+  EXPECT_NE(CP.ErrorMessage.find("S0"), std::string::npos)
+      << CP.ErrorMessage;
+  EXPECT_NE(CP.ErrorMessage.find("not unique"), std::string::npos)
+      << CP.ErrorMessage;
+  EXPECT_TRUE(CP.Spmd.Top.empty());
+}
+
 TEST(SpecParserTest, CompiledAndSimulatable) {
   SpecParseOutput Out = parseWithSpec(R"(
 param N = 15;

@@ -79,6 +79,68 @@ Generated generate(std::mt19937 &Rng) {
 
 class FuzzPipeline : public ::testing::TestWithParam<unsigned> {};
 
+/// Compiles the generated program, runs it under the given fault and
+/// checkpoint configuration, and demands bitwise-identical final
+/// arrays against the sequential interpreter. Accumulates recovery
+/// telemetry into *Stats when non-null so callers can check the crash
+/// schedule actually fired.
+void compileRunAndVerify(const Generated &G, const FaultOptions &Faults,
+                         const CheckpointOptions &Checkpoint,
+                         RecoveryStats *Stats = nullptr) {
+  ParseOutput PO = parseProgram(G.Source);
+  ASSERT_TRUE(PO.ok()) << PO.Error;
+  Program &P = *PO.Prog;
+
+  CompileSpec Spec;
+  Spec.InitialData.emplace(0, blockData(P, 0, 0, G.BlockA));
+  Spec.InitialData.emplace(1, blockData(P, 1, 0, G.BlockB));
+  Spec.FinalData.emplace(0, blockData(P, 0, 0, G.BlockA));
+  Spec.FinalData.emplace(1, blockData(P, 1, 0, G.BlockB));
+  for (unsigned S = 0; S != P.numStatements(); ++S) {
+    unsigned A = P.statement(S).Write.ArrayId;
+    Spec.Stmts.push_back(
+        StmtPlan{S, ownerComputes(P, S, Spec.InitialData.at(A))});
+  }
+
+  CompiledProgram CP = compile(P, Spec);
+  ASSERT_TRUE(CP.Ok) << CP.ErrorMessage;
+  if (!CP.Stats.AllExact)
+    return; // approximate analyses are exercised elsewhere
+
+  SeqInterpreter Gold(P, G.Params);
+  Gold.run();
+
+  SimOptions SO;
+  SO.PhysGrid = {G.Procs};
+  SO.ParamValues = G.Params;
+  SO.Functional = true;
+  SO.Faults = Faults;
+  SO.Checkpoint = Checkpoint;
+  Simulator Sim(P, CP, Spec, SO);
+  SimResult R = Sim.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  if (Stats) {
+    Stats->Crashes += R.Recovery.Crashes;
+    Stats->Rollbacks += R.Recovery.Rollbacks;
+    Stats->CheckpointsTaken += R.Recovery.CheckpointsTaken;
+  }
+
+  std::vector<IntT> Env(P.space().size(), 0);
+  for (unsigned I = 0; I != P.space().size(); ++I)
+    if (P.space().kind(I) == VarKind::Param)
+      Env[I] = G.Params.at(P.space().name(I));
+  for (unsigned AId = 0; AId != P.numArrays(); ++AId) {
+    IntT Size = P.array(AId).DimSizes[0].evaluate(Env);
+    for (IntT K = 0; K != Size; ++K) {
+      auto Got = Sim.finalValue(AId, {K});
+      ASSERT_TRUE(Got.has_value())
+          << P.array(AId).Name << "[" << K << "] missing";
+      ASSERT_EQ(*Got, Gold.arrayValue(AId, {K}))
+          << P.array(AId).Name << "[" << K << "]";
+    }
+  }
+}
+
 } // namespace
 
 TEST_P(FuzzPipeline, CompiledProgramsMatchSequential) {
@@ -87,51 +149,38 @@ TEST_P(FuzzPipeline, CompiledProgramsMatchSequential) {
     Generated G = generate(Rng);
     SCOPED_TRACE("seed " + std::to_string(GetParam()) + " trial " +
                  std::to_string(Trial) + "\n" + G.Source);
-    ParseOutput PO = parseProgram(G.Source);
-    ASSERT_TRUE(PO.ok()) << PO.Error;
-    Program &P = *PO.Prog;
-
-    CompileSpec Spec;
-    Spec.InitialData.emplace(0, blockData(P, 0, 0, G.BlockA));
-    Spec.InitialData.emplace(1, blockData(P, 1, 0, G.BlockB));
-    Spec.FinalData.emplace(0, blockData(P, 0, 0, G.BlockA));
-    Spec.FinalData.emplace(1, blockData(P, 1, 0, G.BlockB));
-    for (unsigned S = 0; S != P.numStatements(); ++S) {
-      unsigned A = P.statement(S).Write.ArrayId;
-      Spec.Stmts.push_back(
-          StmtPlan{S, ownerComputes(P, S, Spec.InitialData.at(A))});
-    }
-
-    CompiledProgram CP = compile(P, Spec);
-    if (!CP.Stats.AllExact)
-      continue; // approximate analyses are exercised elsewhere
-
-    SeqInterpreter Gold(P, G.Params);
-    Gold.run();
-
-    SimOptions SO;
-    SO.PhysGrid = {G.Procs};
-    SO.ParamValues = G.Params;
-    SO.Functional = true;
-    Simulator Sim(P, CP, Spec, SO);
-    SimResult R = Sim.run();
-    ASSERT_TRUE(R.Ok) << R.Error;
-
-    std::vector<IntT> Env(P.space().size(), 0);
-    for (unsigned I = 0; I != P.space().size(); ++I)
-      if (P.space().kind(I) == VarKind::Param)
-        Env[I] = G.Params.at(P.space().name(I));
-    for (unsigned AId = 0; AId != P.numArrays(); ++AId) {
-      IntT Size = P.array(AId).DimSizes[0].evaluate(Env);
-      for (IntT K = 0; K != Size; ++K) {
-        auto Got = Sim.finalValue(AId, {K});
-        ASSERT_TRUE(Got.has_value())
-            << P.array(AId).Name << "[" << K << "] missing";
-        ASSERT_EQ(*Got, Gold.arrayValue(AId, {K}))
-            << P.array(AId).Name << "[" << K << "]";
-      }
-    }
+    compileRunAndVerify(G, FaultOptions{}, CheckpointOptions{});
+    if (::testing::Test::HasFatalFailure())
+      return;
   }
+}
+
+// The crash slice (labeled `fault` in ctest): the same random programs
+// under a random crash-stop schedule with checkpointing — recovery via
+// rollback/replay must still produce bitwise-identical final arrays.
+TEST_P(FuzzPipeline, CrashScheduledProgramsMatchSequential) {
+  std::mt19937 Rng(GetParam() * 7919 + 13);
+  RecoveryStats Total;
+  for (int Trial = 0; Trial != 4; ++Trial) {
+    Generated G = generate(Rng);
+    FaultOptions F;
+    F.CrashRate = 2e-3;
+    F.CrashSeed = Rng();
+    CheckpointOptions CK;
+    CK.IntervalSteps = 100 + Rng() % 400;
+    SCOPED_TRACE("seed " + std::to_string(GetParam()) + " trial " +
+                 std::to_string(Trial) + " crash-seed " +
+                 std::to_string(F.CrashSeed) + " interval " +
+                 std::to_string(CK.IntervalSteps) + "\n" + G.Source);
+    compileRunAndVerify(G, F, CK, &Total);
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+  // The schedule must not be vacuous: across the trials of a seed, at
+  // least one processor dies and at least one rollback replays.
+  EXPECT_GT(Total.Crashes, 0u);
+  EXPECT_GT(Total.Rollbacks, 0u);
+  EXPECT_GT(Total.CheckpointsTaken, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,

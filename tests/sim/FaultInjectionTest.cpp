@@ -309,6 +309,40 @@ TEST(FaultInjectionTest, DropsInflateMakespan) {
   EXPECT_EQ(R0.Words, R1.Words);
 }
 
+TEST(FaultInjectionTest, IntraPhysicalChannelsSequencedUnderTransport) {
+  // Regression: messages between virtual processors folded onto the
+  // same physical processor bypass the lossy network, but the receive
+  // path still matches sequence numbers whenever the transport is
+  // active. They must therefore be sequenced too, or the second message
+  // on an intra-physical channel never matches and the run deadlocks.
+  Program P = parseProgramOrDie(R"(
+param T;
+param N;
+array X[N + 1];
+for t = 0 to T {
+  for i = 16 to N {
+    X[i] = X[i - 16];
+  }
+}
+)");
+  CompileSpec Spec;
+  Spec.Stmts.push_back(StmtPlan{0, blockComputation(P, 0, 1, 4)});
+  Spec.InitialData.emplace(0, blockData(P, 0, 0, 4));
+  Spec.FinalData.emplace(0, blockData(P, 0, 0, 4));
+  CompiledProgram CP = compile(P, Spec);
+  // 16 virtual processors on 4 physical: the distance-16 shift crosses
+  // exactly 4 virtual processors, so every message is intra-physical.
+  FaultOptions F;
+  F.Seed = 21;
+  F.DropRate = 0.05;
+  std::map<std::string, IntT> Pv = {{"T", 3}, {"N", 63}};
+  Simulator Sim(P, CP, Spec, opts(4, Pv, true, F));
+  SimResult R = Sim.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_GT(R.IntraMessages, 0u);
+  EXPECT_EQ(verifyArray0(P, Sim, Pv), 0u);
+}
+
 TEST(FaultInjectionTest, SlowdownInflatesMakespanOnly) {
   Program P = shift();
   CompileSpec Spec = shiftSpec(P, 8);

@@ -27,6 +27,13 @@
 //     --slowdown F           per-processor compute slowdown in [1,F]
 //     --reliable             engage the transport even with zero rates
 //
+//   Crash-stop failures and checkpoint/restart (simulation only):
+//     --crash-rate R         P(a processor dies before a logical step)
+//     --crash-seed S         deterministic crash-schedule seed
+//     --checkpoint-interval N  logical steps between coordinated
+//                            checkpoints (0 = no checkpoints, crashes
+//                            are unrecoverable)
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/SpecParser.h"
@@ -53,7 +60,9 @@ int usage(const char *Argv0) {
                "       [--fault-seed S] [--drop-rate R] [--dup-rate R] "
                "[--max-delay T]\n"
                "       [--retry-timeout T] [--max-retries N] "
-               "[--slowdown F] [--reliable]\n",
+               "[--slowdown F] [--reliable]\n"
+               "       [--crash-rate R] [--crash-seed S] "
+               "[--checkpoint-interval N]\n",
                Argv0);
   return 2;
 }
@@ -69,6 +78,7 @@ int main(int Argc, char **Argv) {
   IntT SimProcs = 0;
   CompilerOptions Opts;
   FaultOptions Faults;
+  CheckpointOptions Checkpoint;
   std::map<std::string, IntT> Params;
 
   for (int I = 1; I < Argc; ++I) {
@@ -109,6 +119,13 @@ int main(int Argc, char **Argv) {
       Faults.MaxSlowdown = std::atof(Argv[++I]);
     else if (std::strcmp(A, "--reliable") == 0)
       Faults.AlwaysReliable = true;
+    else if (std::strcmp(A, "--crash-rate") == 0 && I + 1 < Argc)
+      Faults.CrashRate = std::atof(Argv[++I]);
+    else if (std::strcmp(A, "--crash-seed") == 0 && I + 1 < Argc)
+      Faults.CrashSeed = std::strtoull(Argv[++I], nullptr, 10);
+    else if (std::strcmp(A, "--checkpoint-interval") == 0 && I + 1 < Argc)
+      Checkpoint.IntervalSteps =
+          std::strtoull(Argv[++I], nullptr, 10);
     else if (std::strcmp(A, "--param") == 0 && I + 1 < Argc) {
       const char *Eq = std::strchr(Argv[++I], '=');
       if (!Eq) {
@@ -139,7 +156,15 @@ int main(int Argc, char **Argv) {
   Buf << In.rdbuf();
   SpecParseOutput SP = parseWithSpec(Buf.str());
   if (!SP.ok()) {
-    std::fprintf(stderr, "%s: error: %s\n", File, SP.Error.c_str());
+    // Standard file:line[:col]: error: format so editors can jump to it.
+    if (SP.ErrorLine && SP.ErrorCol)
+      std::fprintf(stderr, "%s:%u:%u: error: %s\n", File, SP.ErrorLine,
+                   SP.ErrorCol, SP.Error.c_str());
+    else if (SP.ErrorLine)
+      std::fprintf(stderr, "%s:%u: error: %s\n", File, SP.ErrorLine,
+                   SP.Error.c_str());
+    else
+      std::fprintf(stderr, "%s: error: %s\n", File, SP.Error.c_str());
     return 1;
   }
   Program &P = *SP.Prog;
@@ -155,6 +180,11 @@ int main(int Argc, char **Argv) {
   }
 
   CompiledProgram CP = compile(P, SP.Spec, Opts);
+  if (!CP.Ok) {
+    std::fprintf(stderr, "%s: error: %s\n", File,
+                 CP.ErrorMessage.c_str());
+    return 1;
+  }
   if (!CP.Diagnostics.empty())
     std::fprintf(stderr, "%s", CP.Diagnostics.c_str());
   if (PrintComm) {
@@ -185,6 +215,7 @@ int main(int Argc, char **Argv) {
     SO.Functional = Functional;
     SO.CollapseLoops = !Functional;
     SO.Faults = Faults;
+    SO.Checkpoint = Checkpoint;
     Simulator Sim(P, CP, SP.Spec, SO);
     SimResult R = Sim.run();
     if (!R.Ok) {
@@ -205,6 +236,21 @@ int main(int Argc, char **Argv) {
                   static_cast<unsigned long long>(R.DroppedPackets),
                   static_cast<unsigned long long>(R.DuplicatesSuppressed),
                   static_cast<unsigned long long>(R.AcksSent));
+    if (Faults.CrashRate > 0 || Checkpoint.enabled()) {
+      std::printf(
+          "recovery: %llu checkpoints (%llu bytes), %llu crashes, %llu "
+          "rollbacks, %llu steps replayed\n",
+          static_cast<unsigned long long>(R.Recovery.CheckpointsTaken),
+          static_cast<unsigned long long>(R.Recovery.CheckpointBytes),
+          static_cast<unsigned long long>(R.Recovery.Crashes),
+          static_cast<unsigned long long>(R.Recovery.Rollbacks),
+          static_cast<unsigned long long>(R.Recovery.ReplayedSteps));
+      std::printf("time split: compute %.6f s, protocol %.6f s, "
+                  "checkpoint %.6f s, recovery %.6f s\n",
+                  R.Recovery.ComputeSeconds, R.Recovery.ProtocolSeconds,
+                  R.Recovery.CheckpointSeconds,
+                  R.Recovery.RecoverySeconds);
+    }
     if (Functional) {
       SeqInterpreter Gold(P, Params);
       Gold.run();
