@@ -5,17 +5,32 @@
 // superfluous-constraint removal, integer feasibility, polyhedron
 // scanning, and parametric lexicographic optimization.
 //
+// Each case runs two legs: a baseline with the fast-path machinery off
+// (no memoization, no syntactic quick-checks, legacy elimination order)
+// and an optimized leg with the projectionOptions() defaults. Output is
+// one JSON object (same convention as bench_checkpoint) so the speedups
+// can be tracked across commits; the checked-in snapshot lives in
+// BENCH_projection.json.
+//
+// Set DMCC_BENCH_SMALL=1 to run at reduced scale.
+//
 //===----------------------------------------------------------------------===//
 
 #include "codegen/Scan.h"
 #include "math/LexOpt.h"
 #include "math/System.h"
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
 
 using namespace dmcc;
 
 namespace {
+
+/// Keeps results observable so the legs are not optimized away.
+volatile unsigned long long Sink = 0;
 
 /// The Figure 5 communication-set system for the shift example.
 System figure5System() {
@@ -49,36 +64,26 @@ System figure5System() {
   return S;
 }
 
-void BM_FMEliminationChain(benchmark::State &State) {
-  System S = figure5System();
-  for (auto _ : State) {
-    System R = S;
-    for (unsigned I = 0; I != 7; ++I)
-      if (R.involves(I))
-        R = R.fmEliminated(I);
-    benchmark::DoNotOptimize(R.numConstraints());
-  }
+void fmChain() {
+  System R = figure5System();
+  for (unsigned I = 0; I != 7; ++I)
+    if (R.involves(I))
+      R = R.fmEliminated(I);
+  Sink = Sink + R.numConstraints();
 }
-BENCHMARK(BM_FMEliminationChain);
 
-void BM_RedundancyRemoval(benchmark::State &State) {
-  System S = figure5System();
-  for (auto _ : State) {
-    System R = S;
-    R.removeRedundant();
-    benchmark::DoNotOptimize(R.numConstraints());
-  }
+void redundancyRemoval() {
+  System R = figure5System();
+  R.removeRedundant();
+  Sink = Sink + R.numConstraints();
 }
-BENCHMARK(BM_RedundancyRemoval);
 
-void BM_IntegerFeasibility(benchmark::State &State) {
+void integerFeasibility() {
   System S = figure5System();
-  for (auto _ : State)
-    benchmark::DoNotOptimize(S.checkIntegerFeasible());
+  Sink = Sink + static_cast<unsigned>(S.checkIntegerFeasible());
 }
-BENCHMARK(BM_IntegerFeasibility);
 
-void BM_ScanFigure6(benchmark::State &State) {
+void scanFigure6() {
   Space Sp;
   Sp.add("i", VarKind::Loop);
   Sp.add("j", VarKind::Loop);
@@ -89,20 +94,17 @@ void BM_ScanFigure6(benchmark::State &State) {
   S.addGE(S.constExpr(14) - S.varExpr(0));
   std::vector<ScanVarPlan> Plan{ScanVarPlan{0, false, AffineExpr()},
                                 ScanVarPlan{1, false, AffineExpr()}};
-  for (auto _ : State) {
-    auto Code = scanPolyhedron(S, Plan, [&]() {
-      SpmdStmt C;
-      C.K = SpmdStmt::Kind::Compute;
-      std::vector<SpmdStmt> B;
-      B.push_back(std::move(C));
-      return B;
-    });
-    benchmark::DoNotOptimize(Code.size());
-  }
+  auto Code = scanPolyhedron(S, Plan, [&]() {
+    SpmdStmt C;
+    C.K = SpmdStmt::Kind::Compute;
+    std::vector<SpmdStmt> B;
+    B.push_back(std::move(C));
+    return B;
+  });
+  Sink = Sink + Code.size();
 }
-BENCHMARK(BM_ScanFigure6);
 
-void BM_ParametricLexMax(benchmark::State &State) {
+void parametricLexMax() {
   // The Figure 2 last-write query: maximize (tw, iw).
   Space Sp;
   Sp.add("tw", VarKind::Loop);
@@ -118,14 +120,11 @@ void BM_ParametricLexMax(benchmark::State &State) {
   S.addGE(S.varExpr(5) - S.varExpr(1));
   S.addEq(S.varExpr(1), S.varExpr(3).plusConst(-3));
   S.addEq(S.varExpr(0), S.varExpr(2));
-  for (auto _ : State) {
-    LexResult R = lexMax(S, {0, 1});
-    benchmark::DoNotOptimize(R.Pieces.size());
-  }
+  LexResult R = lexMax(S, {0, 1});
+  Sink = Sink + R.Pieces.size();
 }
-BENCHMARK(BM_ParametricLexMax);
 
-void BM_Enumerate2DTriangle(benchmark::State &State) {
+void enumerate2DTriangle() {
   Space Sp;
   Sp.add("i", VarKind::Loop);
   Sp.add("j", VarKind::Loop);
@@ -133,14 +132,88 @@ void BM_Enumerate2DTriangle(benchmark::State &State) {
   S.addGE(S.varExpr(0));
   S.addGE(S.varExpr(1) - S.varExpr(0));
   S.addGE(S.constExpr(60) - S.varExpr(1));
-  for (auto _ : State) {
-    unsigned N = 0;
-    S.enumeratePoints([&](const std::vector<IntT> &) { ++N; });
-    benchmark::DoNotOptimize(N);
+  unsigned N = 0;
+  S.enumeratePoints([&](const std::vector<IntT> &) { ++N; });
+  Sink = Sink + N;
+}
+
+/// Runs \p Fn repeatedly until at least \p MinSeconds have elapsed
+/// (doubling the batch size), then returns seconds per iteration.
+double timeLeg(const std::function<void()> &Fn, double MinSeconds) {
+  // Warm up once: first-touch allocation and (for the optimized leg)
+  // cache population are not what we are measuring.
+  Fn();
+  using Clock = std::chrono::steady_clock;
+  unsigned long long Total = 0;
+  double Elapsed = 0;
+  unsigned long long Batch = 1;
+  for (;;) {
+    auto T0 = Clock::now();
+    for (unsigned long long I = 0; I != Batch; ++I)
+      Fn();
+    Elapsed += std::chrono::duration<double>(Clock::now() - T0).count();
+    Total += Batch;
+    if (Elapsed >= MinSeconds)
+      return Elapsed / static_cast<double>(Total);
+    Batch *= 2;
   }
 }
-BENCHMARK(BM_Enumerate2DTriangle);
+
+struct Case {
+  const char *Name;
+  std::function<void()> Fn;
+};
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  bool Small = std::getenv("DMCC_BENCH_SMALL") != nullptr;
+  double MinSeconds = Small ? 0.002 : 0.2;
+
+  const Case Cases[] = {
+      {"fm_elimination_chain", fmChain},
+      {"redundancy_removal", redundancyRemoval},
+      {"integer_feasibility", integerFeasibility},
+      {"scan_figure6", scanFigure6},
+      {"parametric_lexmax", parametricLexMax},
+      {"enumerate_2d_triangle", enumerate2DTriangle},
+  };
+  constexpr unsigned NumCases = sizeof(Cases) / sizeof(Cases[0]);
+
+  ProjectionOptions Optimized; // defaults: cache + accelerators on
+  ProjectionOptions Baseline;
+  Baseline.Cache = false;
+  Baseline.QuickChecks = false;
+  Baseline.OrderHeuristic = false;
+
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"projection\",\n");
+  std::printf("  \"small\": %s,\n", Small ? "true" : "false");
+  std::printf("  \"rows\": [\n");
+  for (unsigned I = 0; I != NumCases; ++I) {
+    const Case &C = Cases[I];
+
+    projectionOptions() = Baseline;
+    clearProjectionCaches();
+    double BaseSec = timeLeg(C.Fn, MinSeconds);
+
+    projectionOptions() = Optimized;
+    clearProjectionCaches();
+    resetProjectionStats();
+    double OptSec = timeLeg(C.Fn, MinSeconds);
+    double HitRate = projectionStats().feasHitRate();
+
+    std::printf("    {\"case\": \"%s\", \"baseline_us\": %.3f, "
+                "\"optimized_us\": %.3f,\n"
+                "     \"speedup\": %.2f, \"feas_cache_hit_rate\": %.3f}%s\n",
+                C.Name, BaseSec * 1e6, OptSec * 1e6,
+                OptSec > 0 ? BaseSec / OptSec : 0.0, HitRate,
+                I + 1 != NumCases ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"notes\": \"per-iteration wall time; baseline leg runs "
+              "with memoization, syntactic quick-checks and the "
+              "elimination-order heuristic disabled\"\n");
+  std::printf("}\n");
+  return 0;
+}

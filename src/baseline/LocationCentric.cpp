@@ -74,7 +74,7 @@ std::vector<Dependence> dmcc::dependencesOnto(const Program &P,
             P.space().name(P.loop(WS.Loops[Level - 1]).VarIndex)));
         S.addGE(S.varExpr(RV).plusConst(-1) - S.varExpr(WV));
       }
-      return S.checkIntegerFeasible(20000) != Feasibility::Empty;
+      return S.checkIntegerFeasible() != Feasibility::Empty;
     };
 
     for (unsigned L = 1; L <= C; ++L)

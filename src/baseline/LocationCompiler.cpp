@@ -110,7 +110,7 @@ std::vector<LocPlan> buildLocationPlans(
     if (S.involves(LoopV[K]))
       S = S.fmEliminated(LoopV[K]);
   S.normalize();
-  S.removeRedundant(8000);
+  S.removeRedundant(projectionOptions().ScanBudget);
 
   // ps != pr disjuncts.
   std::vector<LocPlan> Out;
@@ -126,7 +126,8 @@ std::vector<LocPlan> buildLocationPlans(
       else
         Pl.Sys.addGE(Diff.negated().plusConst(-1));
       if (!Pl.Sys.normalize() ||
-          Pl.Sys.checkIntegerFeasible(6000) == Feasibility::Empty)
+          Pl.Sys.checkIntegerFeasible(
+              projectionOptions().FeasibilityBudget) == Feasibility::Empty)
         continue;
       Pl.Ps = PsV;
       Pl.Pr = PrV;
@@ -185,7 +186,7 @@ void genLocationFragments(SpmdSpace &SS, LocPlan &Pl, unsigned ArrayId,
     if (Outer.involves(V))
       Outer = Outer.fmEliminated(V);
   Outer.normalize();
-  Outer.removeRedundant(8000);
+  Outer.removeRedundant(projectionOptions().ScanBudget);
 
   // Sender side: bind ps to myp, enumerate readers.
   {

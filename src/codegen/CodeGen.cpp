@@ -82,6 +82,9 @@ std::vector<SpmdStmt> dmcc::genComputeFragment(SpmdSpace &SS,
 
 namespace {
 
+/// Node budget for guard-pruning emptiness probes during emission.
+unsigned feasBudget() { return projectionOptions().FeasibilityBudget; }
+
 /// Shared pieces of send/receive generation.
 struct CommVars {
   System Sys; ///< comm-set system in the program space
@@ -135,7 +138,7 @@ System outerProjection(const System &Sys,
     if (R.involves(V))
       R = R.fmEliminated(V);
   R.normalize();
-  R.removeRedundant(3000);
+  R.removeRedundant();
   return R;
 }
 
@@ -379,7 +382,7 @@ bool dmcc::aggregationSafe(const Program &P, const CommSet &CS,
     System Q = T;
     Q.addGE(Q.varExpr(CS.RVars[K]) -
             Q.varExpr(PrimedOf(CS.RVars[K])).plusConst(1));
-    if (Q.checkIntegerFeasible(8000) != Feasibility::Empty)
+    if (Q.checkIntegerFeasible(feasBudget()) != Feasibility::Empty)
       return false;
     // Earlier receiver coordinates must match for this test; add the
     // equality before probing the next position.
@@ -394,7 +397,7 @@ bool dmcc::aggregationSafe(const Program &P, const CommSet &CS,
       Q.addEq(Q.varExpr(CS.RVars[K]), Q.varExpr(CS.SVars[K]));
     Q.addGE(Q.varExpr(CS.SVars[J]) -
             Q.varExpr(CS.RVars[J]).plusConst(1)); // r_J < s_J
-    if (Q.checkIntegerFeasible(8000) != Feasibility::Empty)
+    if (Q.checkIntegerFeasible(feasBudget()) != Feasibility::Empty)
       return false;
   }
 
@@ -431,7 +434,7 @@ bool dmcc::aggregationSafe(const Program &P, const CommSet &CS,
           Q.addEq(Q.varExpr(CS.RVars[K]), Q.varExpr(P2(CS.RVars[K])));
         Q.addGE(Q.varExpr(CS.RVars[J2]) -
                 Q.varExpr(P2(CS.RVars[J2])).plusConst(1)); // r > r'
-        if (Q.checkIntegerFeasible(8000) != Feasibility::Empty)
+        if (Q.checkIntegerFeasible(feasBudget()) != Feasibility::Empty)
           return false;
       }
     }
@@ -468,7 +471,7 @@ bool dmcc::computeLocalBox(SpmdSpace &SS, const StmtPlan &SP,
     if (J >= 0 && Proj.involves(static_cast<unsigned>(J)))
       Proj = Proj.fmEliminated(static_cast<unsigned>(J));
   }
-  Proj.removeRedundant(3000);
+  Proj.removeRedundant();
   for (unsigned K = 0, E = ElVars.size(); K != E; ++K) {
     std::vector<VarBound> Lo, Hi;
     Proj.boundsOf(ElVars[K], Lo, Hi);

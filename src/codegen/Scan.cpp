@@ -125,6 +125,8 @@ private:
 std::vector<SpmdStmt> dmcc::scanPolyhedron(
     const System &S, const std::vector<ScanVarPlan> &Plan,
     const std::function<std::vector<SpmdStmt>()> &MakeBody) {
+  PhaseTimer Timer("codegen.scan");
+  ++projectionStats().ScanCalls;
   System Base = S;
   if (!Base.normalize()) {
     // Empty set: no code.
@@ -133,11 +135,12 @@ std::vector<SpmdStmt> dmcc::scanPolyhedron(
   unsigned N = Plan.size();
   // Proj[j] bounds Plan[j-1].Var; Proj[0] holds the no-plan-var guard.
   std::vector<System> Proj(N + 1);
+  unsigned Budget = projectionOptions().ScanBudget;
   Proj[N] = std::move(Base);
-  Proj[N].removeRedundant(20000);
+  Proj[N].removeRedundant(Budget);
   for (unsigned J = N; J-- > 0;) {
     Proj[J] = Proj[J + 1].fmEliminated(Plan[J].Var);
-    Proj[J].removeRedundant(20000);
+    Proj[J].removeRedundant(Budget);
   }
   // Each level's system should only mention its own and earlier plan
   // variables plus parameters and outer-scope variables.

@@ -13,6 +13,9 @@ using namespace dmcc;
 
 namespace {
 
+/// Node budget for the emptiness probes that prune communication pieces.
+unsigned feasBudget() { return projectionOptions().FeasibilityBudget; }
+
 /// Builds the base system of a communication set for one LWT context and
 /// returns it with the variable-group indices filled in.
 CommSet buildBase(const Program &P, const LastWriteTree &T,
@@ -169,6 +172,7 @@ std::vector<CommSet> dmcc::buildCommSets(
     const Decomposition &ReaderComp, const Decomposition *WriterComp,
     const Decomposition *InitialData, unsigned GridDims,
     bool DropAlreadyOwned) {
+  PhaseTimer Timer("comm.commsets");
   CommSet Base = buildBase(P, T, Ctx, ReaderComp, WriterComp, InitialData,
                            GridDims);
 
@@ -188,7 +192,7 @@ std::vector<CommSet> dmcc::buildCommSets(
       else
         S.addGE(Diff.negated().plusConst(-1)); // ps > pr
       if (!S.normalize() ||
-          S.checkIntegerFeasible(6000) == Feasibility::Empty)
+          S.checkIntegerFeasible(feasBudget()) == Feasibility::Empty)
         continue;
       Out.push_back(std::move(CS));
     }
@@ -221,7 +225,7 @@ std::vector<CommSet> dmcc::buildCommSets(
       Piece.Sys = Prefix;
       Piece.Sys.addGE(C.Expr.negated().plusConst(-1));
       if (Piece.Sys.normalize() &&
-          Piece.Sys.checkIntegerFeasible(6000) != Feasibility::Empty)
+          Piece.Sys.checkIntegerFeasible(feasBudget()) != Feasibility::Empty)
         Thinned.push_back(std::move(Piece));
       Prefix.addGE(C.Expr);
     }
@@ -235,6 +239,7 @@ std::vector<CommSet> dmcc::buildFinalizationSets(
     const Program &P, const LastWriteTree &ArrayT, const LWTContext &Ctx,
     const Decomposition *WriterComp, const Decomposition *InitialData,
     const Decomposition &FinalData, unsigned GridDims) {
+  PhaseTimer Timer("comm.finalize");
   CommSet Base;
   Base.FromInitialData = !Ctx.HasWriter;
   Base.WriteStmtId = Ctx.HasWriter ? Ctx.WriteStmtId : 0;
@@ -354,7 +359,7 @@ std::vector<CommSet> dmcc::buildFinalizationSets(
       else
         Sys.addGE(Diff.negated().plusConst(-1));
       if (!Sys.normalize() ||
-          Sys.checkIntegerFeasible(6000) == Feasibility::Empty)
+          Sys.checkIntegerFeasible(feasBudget()) == Feasibility::Empty)
         continue;
       Out.push_back(std::move(CS));
     }
@@ -403,7 +408,7 @@ std::vector<CommSet> dmcc::eliminateSelfReuse(const CommSet &CS) {
     NC.ElVars = Reindex(CS.ElVars);
     NC.Sys = std::move(S);
     if (NC.Sys.normalize() &&
-        NC.Sys.checkIntegerFeasible(6000) != Feasibility::Empty)
+        NC.Sys.checkIntegerFeasible(feasBudget()) != Feasibility::Empty)
       Out.push_back(std::move(NC));
   }
   return Out;
@@ -434,7 +439,7 @@ void dmcc::eliminateGroupReuse(std::vector<CommSet> &Sets) {
     if (!Exact)
       continue;
     Proj.normalize();
-    Proj.removeRedundant(4000);
+    Proj.removeRedundant();
 
     std::vector<CommSet> Next(Sets.begin(), Sets.begin() + I + 1);
     for (unsigned J = I + 1; J < Sets.size(); ++J) {
@@ -477,14 +482,14 @@ void dmcc::eliminateGroupReuse(std::vector<CommSet> &Sets) {
           PieceLt.Sys = PrefixSys;
           PieceLt.Sys.addGE(E.negated().plusConst(-1));
           if (PieceLt.Sys.normalize() &&
-              PieceLt.Sys.checkIntegerFeasible(6000) !=
+              PieceLt.Sys.checkIntegerFeasible(feasBudget()) !=
                   Feasibility::Empty)
             Next.push_back(std::move(PieceLt));
           CommSet PieceGt = B;
           PieceGt.Sys = PrefixSys;
           PieceGt.Sys.addGE(E.plusConst(-1));
           if (PieceGt.Sys.normalize() &&
-              PieceGt.Sys.checkIntegerFeasible(6000) !=
+              PieceGt.Sys.checkIntegerFeasible(feasBudget()) !=
                   Feasibility::Empty)
             Next.push_back(std::move(PieceGt));
           PrefixSys.addEQ(std::move(E));
@@ -493,7 +498,8 @@ void dmcc::eliminateGroupReuse(std::vector<CommSet> &Sets) {
           Piece.Sys = PrefixSys;
           Piece.Sys.addGE(E.negated().plusConst(-1));
           if (Piece.Sys.normalize() &&
-              Piece.Sys.checkIntegerFeasible(6000) != Feasibility::Empty)
+              Piece.Sys.checkIntegerFeasible(feasBudget()) !=
+                  Feasibility::Empty)
             Next.push_back(std::move(Piece));
           PrefixSys.addGE(std::move(E));
         }

@@ -214,8 +214,26 @@ private:
 CompiledProgram dmcc::compile(const Program &P, const CompileSpec &Spec,
                               const CompilerOptions &Opts) {
   auto T0 = std::chrono::steady_clock::now();
+  // Install this compile's polyhedral-core settings process-wide and
+  // snapshot the counters so Stats.Proj covers exactly this compile.
+  ProjectionOptions SavedOpts = projectionOptions();
+  projectionOptions() = Opts.Projection;
+  resetPhaseProfiles();
+  ProjectionStats Before = projectionStats();
+
   CompiledProgram Out;
   SpmdSpace SS(P, Opts.GridDims);
+
+  auto finish = [&](CompiledProgram &R) -> CompiledProgram & {
+    R.Stats.Proj = projectionStats() - Before;
+    R.Stats.Phases = phaseProfiles();
+    projectionOptions() = SavedOpts;
+    R.Stats.CompileSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      T0)
+            .count();
+    return R;
+  };
 
   auto planOf = [&Spec](unsigned StmtId) -> const StmtPlan & {
     for (const StmtPlan &SP : Spec.Stmts)
@@ -234,7 +252,7 @@ CompiledProgram dmcc::compile(const Program &P, const CompileSpec &Spec,
           "computation decomposition for S" + std::to_string(SP.StmtId) +
           " is not unique: every iteration must map to exactly one "
           "processor (Definition 2)";
-      return Out;
+      return finish(Out);
     }
 
   std::vector<Placed> Comms;
@@ -335,11 +353,15 @@ CompiledProgram dmcc::compile(const Program &P, const CompileSpec &Spec,
   for (unsigned I = 0; I != Comms.size(); ++I)
     Comms[I].CommId = SS.nextCommId();
 
-  Emitter Em(P, SS, Spec, Comms, Deps);
-  SS.prog().Top = Em.run();
+  {
+    PhaseTimer Timer("codegen.emit");
+    Emitter Em(P, SS, Spec, Comms, Deps);
+    SS.prog().Top = Em.run();
+  }
   Out.Spmd = std::move(SS.prog());
   Out.Stats.NumCommChannels = Out.Spmd.NumCommIds;
   if (Opts.SplitLoops) {
+    PhaseTimer Timer("codegen.split");
     LoopSplitStats LS = splitLoops(Out.Spmd);
     Out.Stats.LoopsSplit = LS.LoopsSplit;
     Out.Stats.GuardsEliminated = LS.GuardsEliminated;
@@ -347,8 +369,5 @@ CompiledProgram dmcc::compile(const Program &P, const CompileSpec &Spec,
   for (Placed &Pl : Comms)
     Out.Comms.push_back(std::move(Pl.Plan));
 
-  Out.Stats.CompileSeconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
-          .count();
-  return Out;
+  return finish(Out);
 }

@@ -28,6 +28,7 @@
 #include "comm/CommSet.h"
 #include "decomp/Decomposition.h"
 #include "ir/Program.h"
+#include "math/Projection.h"
 
 #include <map>
 #include <optional>
@@ -39,6 +40,10 @@ namespace dmcc {
 /// Compiler options; each optimization can be toggled for ablations.
 struct CompilerOptions {
   unsigned GridDims = 1;
+  /// Budgets and accelerator toggles for the polyhedral core. Installed
+  /// as the process-wide projectionOptions() for the duration of the
+  /// compile (the previous settings are restored on return).
+  ProjectionOptions Projection;
   bool EliminateSelfReuse = true;
   /// Section 6.1.2: drop transfers whose value another read of the same
   /// statement already brought in within the same batch.
@@ -69,6 +74,13 @@ struct CompileStats {
   unsigned GuardsEliminated = 0;
   bool AllExact = true;
   double CompileSeconds = 0;
+  /// Polyhedral-core counters accumulated over this compile only
+  /// (feasibility queries, cache hits, FM eliminations, ...).
+  ProjectionStats Proj;
+  /// Per-phase wall time and counter deltas ("dataflow.lwt",
+  /// "comm.commsets", "codegen.scan", ...); phases may nest, so the
+  /// seconds are inclusive and do not sum to CompileSeconds.
+  std::vector<PhaseProfile> Phases;
 };
 
 /// The compilation result.

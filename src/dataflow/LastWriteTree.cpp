@@ -17,6 +17,9 @@ std::string writeCopyName(const std::string &LoopVar) {
   return "w." + LoopVar;
 }
 
+/// Node budget for the emptiness probes of last-write resolution.
+unsigned feasBudget() { return projectionOptions().FeasibilityBudget; }
+
 /// One candidate "this write instance produced the value" piece.
 struct Candidate {
   System Context; ///< over anchor space + aux witnesses
@@ -260,7 +263,7 @@ private:
                     const std::vector<AffineExpr> &IwA, const Candidate &B,
                     const std::vector<AffineExpr> &IwB, unsigned Pos,
                     unsigned SharedDepth, std::vector<Candidate> &Out) {
-    if (Ctx.checkIntegerFeasible(4000) == Feasibility::Empty)
+    if (Ctx.checkIntegerFeasible(feasBudget()) == Feasibility::Empty)
       return;
     if (Pos == SharedDepth) {
       // Same shared-iteration values: textual order decides. Identical
@@ -281,7 +284,7 @@ private:
       System SA = Ctx;
       SA.addGE(Diff.plusConst(-1)); // A later at this position
       if (SA.normalize() &&
-          SA.checkIntegerFeasible(4000) != Feasibility::Empty) {
+          SA.checkIntegerFeasible(feasBudget()) != Feasibility::Empty) {
         Candidate C;
         C.Context = std::move(SA);
         C.StmtId = A.StmtId;
@@ -294,7 +297,7 @@ private:
       System SB = Ctx;
       SB.addGE(Diff.negated().plusConst(-1)); // B later
       if (SB.normalize() &&
-          SB.checkIntegerFeasible(4000) != Feasibility::Empty) {
+          SB.checkIntegerFeasible(feasBudget()) != Feasibility::Empty) {
         Candidate C;
         C.Context = std::move(SB);
         C.StmtId = B.StmtId;
@@ -321,7 +324,7 @@ private:
         std::vector<AffineExpr> IwB = B.Iw;
         System Ctx = conjoin(A.Context, B.Context, IwB);
         if (!Ctx.normalize() ||
-            Ctx.checkIntegerFeasible(4000) == Feasibility::Empty)
+            Ctx.checkIntegerFeasible(feasBudget()) == Feasibility::Empty)
           continue;
         std::vector<AffineExpr> IwA = A.Iw;
         for (AffineExpr &E : IwA)
@@ -375,6 +378,7 @@ LastWriteTree dmcc::buildLWTCore(const Program &P, const System &ReadDomain,
                                  unsigned ArrayId,
                                  const std::vector<AffineExpr> &ReadIndices,
                                  const Statement *Reader) {
+  PhaseTimer Timer("dataflow.lwt");
   LWTBuilder B(P, ReadDomain, ArrayId, ReadIndices, Reader);
   return B.run();
 }

@@ -48,6 +48,15 @@ AffineExpr AffineExpr::negated() const {
   return R;
 }
 
+bool AffineExpr::isNegationOf(const AffineExpr &O) const {
+  if (O.size() != size() || Cst == INT64_MIN || O.Cst != -Cst)
+    return false;
+  for (unsigned I = 0, E = Coeffs.size(); I != E; ++I)
+    if (Coeffs[I] == INT64_MIN || O.Coeffs[I] != -Coeffs[I])
+      return false;
+  return true;
+}
+
 AffineExpr AffineExpr::plusConst(IntT C) const {
   AffineExpr R = *this;
   R.Cst = addChk(R.Cst, C);

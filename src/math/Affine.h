@@ -90,6 +90,9 @@ public:
   /// Returns -this.
   AffineExpr negated() const;
 
+  /// True iff O == -this, without materializing the negation.
+  bool isNegationOf(const AffineExpr &O) const;
+
   /// Returns this + C.
   AffineExpr plusConst(IntT C) const;
 

@@ -25,7 +25,8 @@ private:
   void recurse(System S, std::vector<AffineExpr> Solved, unsigned Pos) {
     if (!S.normalize())
       return;
-    if (S.checkIntegerFeasible(4000) == Feasibility::Empty)
+    if (S.checkIntegerFeasible(projectionOptions().FeasibilityBudget) ==
+        Feasibility::Empty)
       return;
     if (Pos == Objs.size())
       return finish(std::move(S), std::move(Solved));
@@ -38,7 +39,7 @@ private:
       if (Proj.involves(Objs[Q]))
         Proj = Proj.fmEliminated(Objs[Q], &Result.Exact);
     Proj.normalize();
-    Proj.removeRedundant(2000);
+    Proj.removeRedundant();
 
     std::vector<VarBound> Lower, Upper;
     Proj.boundsOf(Obj, Lower, Upper);
@@ -86,7 +87,8 @@ private:
       std::vector<VarBound> UA = Uppers;
       UA.erase(UA.begin() + 1);
       if (SA.normalize() &&
-          SA.checkIntegerFeasible(2000) != Feasibility::Empty)
+          SA.checkIntegerFeasible(projectionOptions().FeasibilityBudget) !=
+              Feasibility::Empty)
         tournament(std::move(SA), Solved, Pos, std::move(UA));
     }
     {
@@ -96,7 +98,8 @@ private:
       std::vector<VarBound> UB = std::move(Uppers);
       UB.erase(UB.begin());
       if (SB.normalize() &&
-          SB.checkIntegerFeasible(2000) != Feasibility::Empty)
+          SB.checkIntegerFeasible(projectionOptions().FeasibilityBudget) !=
+              Feasibility::Empty)
         tournament(std::move(SB), std::move(Solved), Pos, std::move(UB));
     }
   }
@@ -142,7 +145,7 @@ private:
         V.removeVar(Idx);
     }
     S.normalize();
-    S.removeRedundant(2000);
+    S.removeRedundant();
     Result.Pieces.push_back(LexPiece{std::move(S), std::move(Solved)});
   }
 
@@ -158,6 +161,8 @@ LexResult dmcc::lexMax(const System &S, const std::vector<unsigned> &Objs) {
   for (unsigned O : Objs)
     assert(O < S.numVars() && "objective index out of range");
 #endif
+  PhaseTimer Timer("math.lexopt");
+  ++projectionStats().LexMaxCalls;
   LexMaxSolver Solver(S, Objs);
   return Solver.run();
 }

@@ -1,0 +1,181 @@
+//===- math/Projection.cpp ------------------------------------*- C++ -*-===//
+
+#include "math/Projection.h"
+
+#include <chrono>
+#include <unordered_map>
+
+using namespace dmcc;
+
+namespace {
+
+ProjectionOptions GlobalOptions;
+ProjectionStats GlobalStats;
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Accumulated phase table, in first-use order.
+std::vector<PhaseProfile> Phases;
+
+PhaseProfile &phaseSlot(const char *Name) {
+  for (PhaseProfile &P : Phases)
+    if (P.Name == Name)
+      return P;
+  Phases.push_back(PhaseProfile{Name, 0, 0, ProjectionStats()});
+  return Phases.back();
+}
+
+struct FeasEntry {
+  Feasibility Result = Feasibility::Unknown;
+  unsigned Budget = 0; ///< budget the result was computed under
+};
+
+struct SysEntry {
+  std::vector<Constraint> Cons;
+  bool Inexact = false;
+};
+
+/// Bounded memo: on overflow the whole map is dropped (cheap, keeps the
+/// hot working set warm again within a few queries).
+template <typename V> class BoundedCache {
+public:
+  V *find(const detail::CacheKey &K) {
+    auto It = Map.find(K);
+    return It == Map.end() ? nullptr : &It->second;
+  }
+  void insert(const detail::CacheKey &K, V Val) {
+    if (Map.size() >= GlobalOptions.CacheCapacity) {
+      Map.clear();
+      ++GlobalStats.CacheEvictions;
+    }
+    Map[K] = std::move(Val);
+  }
+  void clear() { Map.clear(); }
+  std::size_t size() const { return Map.size(); }
+
+private:
+  std::unordered_map<detail::CacheKey, V, detail::CacheKeyHash> Map;
+};
+
+BoundedCache<FeasEntry> FeasCache;
+BoundedCache<SysEntry> SysCache;
+
+} // namespace
+
+ProjectionOptions &dmcc::projectionOptions() { return GlobalOptions; }
+
+ProjectionStats &dmcc::projectionStats() { return GlobalStats; }
+
+void dmcc::resetProjectionStats() { GlobalStats = ProjectionStats(); }
+
+void dmcc::clearProjectionCaches() {
+  FeasCache.clear();
+  SysCache.clear();
+}
+
+std::size_t dmcc::projectionCacheEntries() {
+  return FeasCache.size() + SysCache.size();
+}
+
+ProjectionStats ProjectionStats::operator-(const ProjectionStats &O) const {
+  ProjectionStats R;
+  R.FeasQueries = FeasQueries - O.FeasQueries;
+  R.FeasCacheHits = FeasCacheHits - O.FeasCacheHits;
+  R.FeasCacheMisses = FeasCacheMisses - O.FeasCacheMisses;
+  R.FeasUnknown = FeasUnknown - O.FeasUnknown;
+  R.NodesExpanded = NodesExpanded - O.NodesExpanded;
+  R.FmEliminations = FmEliminations - O.FmEliminations;
+  R.RedundancyCalls = RedundancyCalls - O.RedundancyCalls;
+  R.RedundancyTests = RedundancyTests - O.RedundancyTests;
+  R.RedundancyQuickKills = RedundancyQuickKills - O.RedundancyQuickKills;
+  R.RedundancyCacheHits = RedundancyCacheHits - O.RedundancyCacheHits;
+  R.ProjectionCalls = ProjectionCalls - O.ProjectionCalls;
+  R.ProjectionCacheHits = ProjectionCacheHits - O.ProjectionCacheHits;
+  R.CacheEvictions = CacheEvictions - O.CacheEvictions;
+  R.LexMaxCalls = LexMaxCalls - O.LexMaxCalls;
+  R.ScanCalls = ScanCalls - O.ScanCalls;
+  return R;
+}
+
+PhaseTimer::PhaseTimer(const char *Name)
+    : Name(Name), Snap(GlobalStats), T0(nowSeconds()) {}
+
+PhaseTimer::~PhaseTimer() {
+  PhaseProfile &P = phaseSlot(Name);
+  P.Seconds += nowSeconds() - T0;
+  ++P.Invocations;
+  ProjectionStats D = GlobalStats - Snap;
+  P.Delta.FeasQueries += D.FeasQueries;
+  P.Delta.FeasCacheHits += D.FeasCacheHits;
+  P.Delta.FeasCacheMisses += D.FeasCacheMisses;
+  P.Delta.FeasUnknown += D.FeasUnknown;
+  P.Delta.NodesExpanded += D.NodesExpanded;
+  P.Delta.FmEliminations += D.FmEliminations;
+  P.Delta.RedundancyCalls += D.RedundancyCalls;
+  P.Delta.RedundancyTests += D.RedundancyTests;
+  P.Delta.RedundancyQuickKills += D.RedundancyQuickKills;
+  P.Delta.RedundancyCacheHits += D.RedundancyCacheHits;
+  P.Delta.ProjectionCalls += D.ProjectionCalls;
+  P.Delta.ProjectionCacheHits += D.ProjectionCacheHits;
+  P.Delta.CacheEvictions += D.CacheEvictions;
+  P.Delta.LexMaxCalls += D.LexMaxCalls;
+  P.Delta.ScanCalls += D.ScanCalls;
+}
+
+std::vector<PhaseProfile> dmcc::phaseProfiles() { return Phases; }
+
+void dmcc::resetPhaseProfiles() { Phases.clear(); }
+
+std::size_t detail::CacheKeyHash::operator()(const CacheKey &K) const {
+  // FNV-1a over the 64-bit words.
+  uint64_t H = 1469598103934665603ull;
+  for (IntT V : K) {
+    H ^= static_cast<uint64_t>(V);
+    H *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(H);
+}
+
+bool detail::feasCacheLookup(const CacheKey &K, unsigned Budget,
+                             Feasibility &R) {
+  FeasEntry *E = FeasCache.find(K);
+  if (!E)
+    return false;
+  if (E->Result == Feasibility::Unknown && Budget > E->Budget)
+    return false; // a deeper search might still resolve it
+  R = E->Result;
+  return true;
+}
+
+void detail::feasCacheStore(const CacheKey &K, unsigned Budget,
+                            Feasibility R) {
+  FeasEntry *E = FeasCache.find(K);
+  if (E) {
+    // Keep the strongest fact: definite answers win; among Unknowns the
+    // larger failed budget subsumes the smaller.
+    if (E->Result != Feasibility::Unknown)
+      return;
+    if (R == Feasibility::Unknown && Budget <= E->Budget)
+      return;
+  }
+  FeasCache.insert(K, FeasEntry{R, Budget});
+}
+
+bool detail::sysCacheLookup(const CacheKey &K, std::vector<Constraint> &Out,
+                            bool &Inexact) {
+  SysEntry *E = SysCache.find(K);
+  if (!E)
+    return false;
+  Out = E->Cons;
+  Inexact = E->Inexact;
+  return true;
+}
+
+void detail::sysCacheStore(const CacheKey &K,
+                           const std::vector<Constraint> &V, bool Inexact) {
+  SysCache.insert(K, SysEntry{V, Inexact});
+}

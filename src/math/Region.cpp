@@ -147,7 +147,8 @@ std::vector<AffineExpr> asInequalities(const System &S) {
 bool entails(const System &S, const AffineExpr &E) {
   System Q = S;
   Q.addGE(E.negated().plusConst(-1));
-  return Q.checkIntegerFeasible(6000) == Feasibility::Empty;
+  return Q.checkIntegerFeasible(projectionOptions().FeasibilityBudget) ==
+         Feasibility::Empty;
 }
 
 } // namespace
@@ -179,7 +180,7 @@ std::optional<System> dmcc::coalesceSystems(const System &A,
   if (!R.isExact() || !R.isIntegerEmpty())
     return std::nullopt;
   System Out = std::move(U);
-  Out.removeRedundant(4000);
+  Out.removeRedundant();
   return Out;
 }
 

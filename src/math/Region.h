@@ -54,11 +54,12 @@ public:
   /// that elimination is integer-inexact the result is marked inexact.
   Region subtract(const Region &Other) const;
 
-  /// Removes integer-empty pieces (best effort under \p NodeBudget).
-  void pruneEmpty(unsigned NodeBudget = 20000);
+  /// Removes integer-empty pieces (best effort under \p NodeBudget;
+  /// 0 means the projectionOptions() search budget).
+  void pruneEmpty(unsigned NodeBudget = 0);
 
   /// True if all pieces are provably integer-empty.
-  bool isIntegerEmpty(unsigned NodeBudget = 20000) const;
+  bool isIntegerEmpty(unsigned NodeBudget = 0) const;
 
   /// True if the point (over base-space variables, in base order) lies in
   /// some piece; existential Aux variables are searched exhaustively.

@@ -66,6 +66,7 @@ bool System::normalize() {
 
   // Deduplicate, and merge GE pairs {E >= 0, -E >= 0} into E == 0.
   std::vector<Constraint> Final;
+  Final.reserve(Out.size());
   for (Constraint &C : Out) {
     bool Skip = false;
     for (Constraint &F : Final) {
@@ -74,7 +75,7 @@ bool System::normalize() {
         break;
       }
       if (!C.isEquality() && !F.isEquality() &&
-          F.Expr == C.Expr.negated()) {
+          C.Expr.isNegationOf(F.Expr)) {
         // F says E >= 0 with E = -C.Expr; together they force C.Expr == 0.
         F.Rel = RelKind::EQ;
         unsigned FV;
@@ -85,7 +86,7 @@ bool System::normalize() {
       }
       // A GE implied by an existing EQ over the same expression.
       if (!C.isEquality() && F.isEquality() &&
-          (F.Expr == C.Expr || F.Expr == C.Expr.negated())) {
+          (F.Expr == C.Expr || C.Expr.isNegationOf(F.Expr))) {
         Skip = true;
         break;
       }
@@ -118,6 +119,7 @@ void System::removeVar(unsigned I) {
 
 System System::fmEliminated(unsigned I, bool *Exact) const {
   assert(I < Sp.size() && "variable index out of range");
+  ++projectionStats().FmEliminations;
 
   // Prefer an exact substitution through a unit-coefficient equality.
   for (unsigned CI = 0, CE = Cons.size(); CI != CE; ++CI) {
@@ -133,6 +135,7 @@ System System::fmEliminated(unsigned I, bool *Exact) const {
     if (A == 1)
       Repl.scale(-1);
     System R(Sp);
+    R.Cons.reserve(Cons.size() - 1);
     for (unsigned CJ = 0, CF = Cons.size(); CJ != CF; ++CJ) {
       if (CJ == CI)
         continue;
@@ -146,6 +149,8 @@ System System::fmEliminated(unsigned I, bool *Exact) const {
 
   System R(Sp);
   std::vector<const Constraint *> Low, Up;
+  Low.reserve(Cons.size());
+  Up.reserve(Cons.size());
   for (const Constraint &C : Cons) {
     IntT A = C.Expr.coeff(I);
     if (A == 0) {
@@ -164,6 +169,7 @@ System System::fmEliminated(unsigned I, bool *Exact) const {
       Up.push_back(&C);
   }
 
+  R.Cons.reserve(R.Cons.size() + Low.size() * Up.size());
   for (const Constraint *L : Low) {
     IntT AL = L->Expr.coeff(I);
     AffineExpr LE = AL > 0 ? L->Expr : L->Expr.negated();
@@ -198,22 +204,107 @@ System System::fmEliminated(unsigned I, bool *Exact) const {
   return R;
 }
 
+namespace {
+
+/// Fourier-Motzkin growth estimate for eliminating \p I from \p S: 0 when
+/// a unit-coefficient equality gives an exact substitution, otherwise the
+/// pos*neg product of bounding-constraint counts (the number of combined
+/// constraints the elimination would emit).
+uint64_t eliminationScore(const System &S, unsigned I) {
+  uint64_t Pos = 0, Neg = 0;
+  for (const Constraint &C : S.constraints()) {
+    IntT A = C.Expr.coeff(I);
+    if (A == 0)
+      continue;
+    if (C.isEquality()) {
+      if (A == 1 || A == -1)
+        return 0; // exact substitution, no growth
+      ++Pos;
+      ++Neg;
+      continue;
+    }
+    if (A > 0)
+      ++Pos;
+    else
+      ++Neg;
+  }
+  return Pos * Neg;
+}
+
+} // namespace
+
 System System::projectedOnto(const std::vector<unsigned> &Keep,
                              bool *Exact) const {
   assert(std::is_sorted(Keep.begin(), Keep.end()) &&
          "projection target must preserve variable order");
+  const ProjectionOptions &PO = projectionOptions();
+  ProjectionStats &PS = projectionStats();
+  ++PS.ProjectionCalls;
+
+  detail::CacheKey Key;
+  bool Keyed = false;
+  if (PO.Cache && canonicalKey(Key)) {
+    Key.push_back(-2); // tag: projection (vs. -1 = redundancy removal)
+    for (unsigned K : Keep)
+      Key.push_back(static_cast<IntT>(K));
+    std::vector<Constraint> Cached;
+    bool Inexact = false;
+    if (detail::sysCacheLookup(Key, Cached, Inexact)) {
+      ++PS.ProjectionCacheHits;
+      if (Inexact && Exact)
+        *Exact = false;
+      Space RS;
+      for (unsigned K : Keep)
+        RS.add(Sp.name(K), Sp.kind(K));
+      System Out(std::move(RS));
+      Out.Cons.reserve(Cached.size());
+      for (Constraint &C : Cached)
+        Out.addConstraint(std::move(C));
+      return Out;
+    }
+    Keyed = true;
+  }
+
+  bool StillExact = true;
   System R = *this;
   R.normalize();
-  // Eliminate in reverse index order.
-  for (unsigned I = Sp.size(); I-- > 0;) {
-    if (std::binary_search(Keep.begin(), Keep.end(), I))
-      continue;
-    if (R.involves(I))
-      R = R.fmEliminated(I, Exact);
+  if (PO.OrderHeuristic) {
+    // Greedily eliminate the cheapest variable first (min pos*neg,
+    // exact unit-equality substitutions free) to keep intermediate
+    // constraint counts down.
+    for (;;) {
+      unsigned Best = Sp.size();
+      uint64_t BestScore = 0;
+      for (unsigned I = 0, E = Sp.size(); I != E; ++I) {
+        if (std::binary_search(Keep.begin(), Keep.end(), I) ||
+            !R.involves(I))
+          continue;
+        uint64_t Score = eliminationScore(R, I);
+        if (Best == Sp.size() || Score < BestScore) {
+          Best = I;
+          BestScore = Score;
+        }
+      }
+      if (Best == Sp.size())
+        break;
+      R = R.fmEliminated(Best, &StillExact);
+    }
+  } else {
+    // Legacy order: eliminate in reverse index order.
+    for (unsigned I = Sp.size(); I-- > 0;) {
+      if (std::binary_search(Keep.begin(), Keep.end(), I))
+        continue;
+      if (R.involves(I))
+        R = R.fmEliminated(I, &StillExact);
+    }
   }
   for (unsigned I = Sp.size(); I-- > 0;)
     if (!std::binary_search(Keep.begin(), Keep.end(), I))
       R.removeVar(I);
+  if (Keyed)
+    detail::sysCacheStore(Key, R.Cons, !StillExact);
+  if (!StillExact && Exact)
+    *Exact = false;
   return R;
 }
 
@@ -278,7 +369,15 @@ public:
     // Chain[0] has only constant constraints; normalize() detects
     // rational emptiness of the whole chain.
     System C0 = Chain[0];
-    return C0.normalize();
+    if (!C0.normalize())
+      return false;
+    // The bound lists of each level are fixed for the whole search;
+    // extract them once instead of re-walking constraints per node.
+    LowerAt.resize(N);
+    UpperAt.resize(N);
+    for (unsigned K = 0; K != N; ++K)
+      Chain[K + 1].boundsOf(K, LowerAt[K], UpperAt[K]);
+    return true;
   }
 
   Feasibility run(std::vector<IntT> *Point) {
@@ -286,7 +385,9 @@ public:
     Vals.assign(N, 0);
     Incomplete = false;
     BudgetHit = false;
-    if (dfs(0)) {
+    bool Found = dfs(0);
+    projectionStats().NodesExpanded += Nodes;
+    if (Found) {
       if (Point)
         *Point = Vals;
       return Feasibility::Feasible;
@@ -306,8 +407,8 @@ private:
       return false;
     }
 
-    std::vector<VarBound> Lower, Upper;
-    Chain[K + 1].boundsOf(K, Lower, Upper);
+    const std::vector<VarBound> &Lower = LowerAt[K];
+    const std::vector<VarBound> &Upper = UpperAt[K];
 
     bool HasLo = !Lower.empty(), HasHi = !Upper.empty();
     IntT Lo = 0, Hi = 0;
@@ -365,34 +466,116 @@ private:
       return false;
     }
     --Budget;
+    ++Nodes;
     Vals[K] = V;
     return dfs(K + 1);
   }
 
   const System &Orig;
   std::vector<System> Chain;
+  std::vector<std::vector<VarBound>> LowerAt, UpperAt;
   std::vector<IntT> Vals;
   unsigned Budget;
+  uint64_t Nodes = 0;
   bool Incomplete = false;
   bool BudgetHit = false;
 };
 
 } // namespace
 
+bool System::canonicalKey(detail::CacheKey &Key) const {
+  // Normalize a copy so syntactic variants (ordering, scaling, merged
+  // equalities) share one key; sort rows for order independence.
+  System C = *this;
+  if (!C.normalize())
+    return false; // empty on its face — answer without searching
+  std::vector<const Constraint *> Rows;
+  Rows.reserve(C.Cons.size());
+  for (const Constraint &Con : C.Cons)
+    Rows.push_back(&Con);
+  std::sort(Rows.begin(), Rows.end(),
+            [](const Constraint *A, const Constraint *B) {
+              if (A->Rel != B->Rel)
+                return A->Rel < B->Rel;
+              if (A->Expr.constant() != B->Expr.constant())
+                return A->Expr.constant() < B->Expr.constant();
+              for (unsigned I = 0, E = A->Expr.size(); I != E; ++I)
+                if (A->Expr.coeff(I) != B->Expr.coeff(I))
+                  return A->Expr.coeff(I) < B->Expr.coeff(I);
+              return false;
+            });
+  Key.clear();
+  Key.reserve(2 + Rows.size() * (2 + Sp.size()));
+  Key.push_back(static_cast<IntT>(Sp.size()));
+  Key.push_back(static_cast<IntT>(Rows.size()));
+  for (const Constraint *R : Rows) {
+    Key.push_back(R->Rel == RelKind::EQ ? 1 : 0);
+    Key.push_back(R->Expr.constant());
+    for (unsigned I = 0, E = R->Expr.size(); I != E; ++I)
+      Key.push_back(R->Expr.coeff(I));
+  }
+  return true;
+}
+
 Feasibility System::checkIntegerFeasible(unsigned NodeBudget) const {
+  const ProjectionOptions &PO = projectionOptions();
+  ProjectionStats &PS = projectionStats();
+  if (NodeBudget == 0)
+    NodeBudget = PO.SearchBudget;
+  ++PS.FeasQueries;
+
+  detail::CacheKey Key;
+  bool Keyed = false;
+  if (PO.Cache) {
+    if (!canonicalKey(Key))
+      return Feasibility::Empty;
+    Feasibility R;
+    if (detail::feasCacheLookup(Key, NodeBudget, R)) {
+      ++PS.FeasCacheHits;
+      return R;
+    }
+    ++PS.FeasCacheMisses;
+    Keyed = true;
+  }
+
   IntSearch Search(*this, NodeBudget);
-  if (!Search.prepare())
-    return Feasibility::Empty;
-  return Search.run(nullptr);
+  Feasibility R = Search.prepare() ? Search.run(nullptr)
+                                   : Feasibility::Empty;
+  if (R == Feasibility::Unknown)
+    ++PS.FeasUnknown;
+  if (Keyed)
+    detail::feasCacheStore(Key, NodeBudget, R);
+  return R;
 }
 
 std::optional<std::vector<IntT>> System::sampleIntPoint(
     unsigned NodeBudget) const {
+  const ProjectionOptions &PO = projectionOptions();
+  if (NodeBudget == 0)
+    NodeBudget = PO.SearchBudget;
+
+  // A memoized Empty verdict saves the search; a Feasible one still
+  // needs a point, so only the negative side short-circuits.
+  detail::CacheKey Key;
+  bool Keyed = false;
+  if (PO.Cache) {
+    if (!canonicalKey(Key))
+      return std::nullopt;
+    Feasibility Known;
+    if (detail::feasCacheLookup(Key, NodeBudget, Known) &&
+        Known == Feasibility::Empty)
+      return std::nullopt;
+    Keyed = true;
+  }
+
   IntSearch Search(*this, NodeBudget);
   if (!Search.prepare())
     return std::nullopt;
   std::vector<IntT> Point;
-  if (Search.run(&Point) == Feasibility::Feasible)
+  Feasibility R = Search.run(&Point);
+  if (Keyed)
+    detail::feasCacheStore(Key, NodeBudget, R);
+  if (R == Feasibility::Feasible)
     return Point;
   return std::nullopt;
 }
@@ -446,10 +629,96 @@ void System::enumeratePoints(
   Rec(0);
 }
 
+namespace {
+
+/// True iff A and B have identical coefficient rows (constants ignored).
+bool sameCoeffRow(const AffineExpr &A, const AffineExpr &B) {
+  for (unsigned I = 0, E = A.size(); I != E; ++I)
+    if (A.coeff(I) != B.coeff(I))
+      return false;
+  return true;
+}
+
+/// True iff A's coefficient row is the negation of B's (constants
+/// ignored); false on any non-representable negation.
+bool negCoeffRow(const AffineExpr &A, const AffineExpr &B) {
+  for (unsigned I = 0, E = A.size(); I != E; ++I) {
+    IntT C = B.coeff(I);
+    if (C == INT64_MIN || A.coeff(I) != -C)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
 void System::removeRedundant(unsigned NodeBudget) {
+  const ProjectionOptions &PO = projectionOptions();
+  ProjectionStats &PS = projectionStats();
+  if (NodeBudget == 0)
+    NodeBudget = PO.RedundancyBudget;
+  ++PS.RedundancyCalls;
   if (!normalize())
     return;
+
+  detail::CacheKey Key;
+  bool Keyed = false;
+  if (PO.Cache && canonicalKey(Key)) {
+    Key.push_back(-1); // tag: redundancy removal (vs. -2 = projection)
+    Key.push_back(static_cast<IntT>(NodeBudget));
+    std::vector<Constraint> Cached;
+    bool Inexact = false;
+    if (detail::sysCacheLookup(Key, Cached, Inexact)) {
+      ++PS.RedundancyCacheHits;
+      Cons = std::move(Cached);
+      return;
+    }
+    Keyed = true;
+  }
+
+  if (PO.QuickChecks && Cons.size() > 1) {
+    // Syntactic accelerators: drop inequalities dominated over identical
+    // coefficient rows before paying for an exact feasibility test each.
+    //   e + a >= 0 dominates e + b >= 0 whenever b >= a;
+    //   e + a == 0 forces e = -a, so e + b >= 0 is implied when b >= a
+    //   and -e + b >= 0 is implied when a + b >= 0.
+    std::vector<bool> Drop(Cons.size(), false);
+    for (unsigned J = 0; J != Cons.size(); ++J) {
+      if (Cons[J].isEquality())
+        continue;
+      for (unsigned I = 0; I != Cons.size() && !Drop[J]; ++I) {
+        if (I == J || Drop[I])
+          continue;
+        const Constraint &A = Cons[I];
+        const Constraint &B = Cons[J];
+        IntT CA = A.Expr.constant(), CB = B.Expr.constant();
+        if (A.isEquality()) {
+          if (sameCoeffRow(A.Expr, B.Expr) && CB >= CA)
+            Drop[J] = true;
+          else if (negCoeffRow(B.Expr, A.Expr)) {
+            IntT Sum;
+            if (!__builtin_add_overflow(CA, CB, &Sum) && Sum >= 0)
+              Drop[J] = true;
+          }
+        } else if (sameCoeffRow(A.Expr, B.Expr) && CB > CA) {
+          Drop[J] = true;
+        }
+      }
+    }
+    std::vector<Constraint> Kept;
+    Kept.reserve(Cons.size());
+    for (unsigned I = 0; I != Cons.size(); ++I) {
+      if (Drop[I]) {
+        ++PS.RedundancyQuickKills;
+        continue;
+      }
+      Kept.push_back(std::move(Cons[I]));
+    }
+    Cons = std::move(Kept);
+  }
+
   for (unsigned I = Cons.size(); I-- > 0;) {
+    ++PS.RedundancyTests;
     const Constraint C = Cons[I];
     System Test(Sp);
     for (unsigned J = 0, E = Cons.size(); J != E; ++J)
@@ -471,6 +740,8 @@ void System::removeRedundant(unsigned NodeBudget) {
     }
     Cons.erase(Cons.begin() + I);
   }
+  if (Keyed)
+    detail::sysCacheStore(Key, Cons, false);
 }
 
 std::string System::str() const {

@@ -19,6 +19,7 @@
 #define DMCC_MATH_SYSTEM_H
 
 #include "math/Affine.h"
+#include "math/Projection.h"
 #include "math/Space.h"
 
 #include <functional>
@@ -27,11 +28,6 @@
 #include <vector>
 
 namespace dmcc {
-
-/// Three-valued answer for integer feasibility questions. Unknown results
-/// arise only when the branch-and-bound search exceeds its node budget;
-/// callers must treat Unknown conservatively.
-enum class Feasibility { Empty, Feasible, Unknown };
 
 /// A lower or upper bound on a variable extracted from a system:
 ///   lower:  v >= ceil(Num / Den)      upper:  v <= floor(Num / Den)
@@ -126,17 +122,20 @@ public:
   bool holds(const std::vector<IntT> &Vals) const;
 
   /// Exhaustive-by-construction integer feasibility (branch and bound over
-  /// a Fourier-Motzkin chain). \p NodeBudget bounds the search.
-  Feasibility checkIntegerFeasible(unsigned NodeBudget = 20000) const;
+  /// a Fourier-Motzkin chain). \p NodeBudget bounds the search; 0 means
+  /// projectionOptions().SearchBudget. Results are memoized on the
+  /// canonicalized constraint matrix when the projection cache is on.
+  Feasibility checkIntegerFeasible(unsigned NodeBudget = 0) const;
 
   /// Convenience: checkIntegerFeasible() == Empty.
-  bool isIntegerEmpty(unsigned NodeBudget = 20000) const {
+  bool isIntegerEmpty(unsigned NodeBudget = 0) const {
     return checkIntegerFeasible(NodeBudget) == Feasibility::Empty;
   }
 
-  /// Finds one integer point, if the search succeeds within budget.
+  /// Finds one integer point, if the search succeeds within budget
+  /// (0 = projectionOptions().SearchBudget).
   std::optional<std::vector<IntT>> sampleIntPoint(
-      unsigned NodeBudget = 20000) const;
+      unsigned NodeBudget = 0) const;
 
   /// Enumerates every integer point in lexicographic variable order. The
   /// system must be bounded; aborts (via budget) otherwise. Intended for
@@ -146,8 +145,13 @@ public:
                        unsigned Budget = 1000000) const;
 
   /// Drops constraints whose negation makes the system integer-empty
-  /// (the superfluous-constraint test of Section 5.1).
-  void removeRedundant(unsigned NodeBudget = 5000);
+  /// (the superfluous-constraint test of Section 5.1). \p NodeBudget
+  /// bounds each per-constraint test; 0 means
+  /// projectionOptions().RedundancyBudget. Budget-exhausted (Unknown)
+  /// tests conservatively keep the constraint. Syntactic quick-checks
+  /// and a whole-result memo run in front of the exact tests when
+  /// enabled in projectionOptions().
+  void removeRedundant(unsigned NodeBudget = 0);
 
   /// Renders one constraint per line.
   std::string str() const;
@@ -155,6 +159,11 @@ public:
 private:
   Space Sp;
   std::vector<Constraint> Cons;
+
+  /// Flattens the normalized, sorted constraint matrix into \p Key.
+  /// Returns false when normalization proves the system empty on its
+  /// face (callers should answer Empty without searching).
+  bool canonicalKey(detail::CacheKey &Key) const;
 };
 
 /// Translates \p E from \p From to \p To, mapping variables by

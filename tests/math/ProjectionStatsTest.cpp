@@ -1,0 +1,231 @@
+//===- tests/math/ProjectionStatsTest.cpp ---------------------*- C++ -*-===//
+//
+// The polyhedral fast path: memoization counters, the bounded-cache
+// eviction policy, budget-qualified Unknown results, and the
+// conservative behavior of removeRedundant when the node budget is
+// starved mid-proof.
+//
+//===----------------------------------------------------------------------===//
+
+#include "math/System.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmcc;
+
+namespace {
+
+/// Restores the process-wide options, caches and counters on scope exit
+/// so tests cannot leak settings into each other.
+struct ProjectionSandbox {
+  ProjectionSandbox() {
+    Saved = projectionOptions();
+    projectionOptions() = ProjectionOptions();
+    clearProjectionCaches();
+    resetProjectionStats();
+  }
+  ~ProjectionSandbox() {
+    projectionOptions() = Saved;
+    clearProjectionCaches();
+    resetProjectionStats();
+  }
+  ProjectionOptions Saved;
+};
+
+System boxSystem(IntT Lo, IntT Hi) {
+  Space Sp;
+  Sp.add("x", VarKind::Loop);
+  Sp.add("y", VarKind::Loop);
+  System S(std::move(Sp));
+  S.addRange(0, Lo, Hi);
+  S.addRange(1, Lo, Hi);
+  return S;
+}
+
+/// A system that is integer-empty but rationally feasible, and whose
+/// emptiness proof must enumerate the whole y range: 2x + 3y == 1 has
+/// no solution with 0 <= x, y (every candidate y leaves a fractional or
+/// negative x), so branch-and-bound visits every y before concluding.
+System parityGapSystem(IntT Hi) {
+  System S = boxSystem(0, Hi);
+  AffineExpr E(2);
+  E.coeff(0) = 2;
+  E.coeff(1) = 3;
+  E.constant() = -1;
+  S.addEQ(std::move(E));
+  return S;
+}
+
+TEST(ProjectionStats, FeasibilityCacheHitsAreCounted) {
+  ProjectionSandbox Sandbox;
+  System S = boxSystem(0, 10);
+  EXPECT_EQ(S.checkIntegerFeasible(), Feasibility::Feasible);
+  EXPECT_EQ(S.checkIntegerFeasible(), Feasibility::Feasible);
+  const ProjectionStats &PS = projectionStats();
+  EXPECT_EQ(PS.FeasQueries, 2u);
+  EXPECT_EQ(PS.FeasCacheMisses, 1u);
+  EXPECT_EQ(PS.FeasCacheHits, 1u);
+  EXPECT_DOUBLE_EQ(PS.feasHitRate(), 0.5);
+}
+
+TEST(ProjectionStats, CacheDisabledMeansNoHits) {
+  ProjectionSandbox Sandbox;
+  projectionOptions().Cache = false;
+  System S = boxSystem(0, 10);
+  EXPECT_EQ(S.checkIntegerFeasible(), Feasibility::Feasible);
+  EXPECT_EQ(S.checkIntegerFeasible(), Feasibility::Feasible);
+  EXPECT_EQ(projectionStats().FeasCacheHits, 0u);
+  EXPECT_EQ(projectionCacheEntries(), 0u);
+}
+
+TEST(ProjectionStats, EvictionKeepsTheCacheBounded) {
+  ProjectionSandbox Sandbox;
+  projectionOptions().CacheCapacity = 2;
+  for (IntT Hi = 1; Hi <= 20; ++Hi) {
+    System S = boxSystem(0, Hi);
+    EXPECT_EQ(S.checkIntegerFeasible(), Feasibility::Feasible);
+  }
+  EXPECT_GT(projectionStats().CacheEvictions, 0u);
+  EXPECT_LE(projectionCacheEntries(), 2u);
+}
+
+TEST(ProjectionStats, StarvedBudgetReportsUnknown) {
+  ProjectionSandbox Sandbox;
+  System S = parityGapSystem(1000);
+  EXPECT_EQ(S.checkIntegerFeasible(1), Feasibility::Unknown);
+  EXPECT_EQ(projectionStats().FeasUnknown, 1u);
+  // A cached Unknown must not satisfy a better-funded query: the full
+  // budget re-runs the search and proves emptiness.
+  EXPECT_EQ(S.checkIntegerFeasible(), Feasibility::Empty);
+  // The definite verdict now serves every budget, including tiny ones.
+  EXPECT_EQ(S.checkIntegerFeasible(1), Feasibility::Empty);
+}
+
+TEST(ProjectionStats, RemoveRedundantKeepsConstraintsOnUnknown) {
+  ProjectionSandbox Sandbox;
+  // Over x + 3y >= 4 with x, y >= 0, the rational minimum of 2x + 3y is
+  // 4 (at the fractional vertex (0, 4/3)) but the integer minimum is 5,
+  // so 2x + 3y >= 5 is redundant over the integers only. Its exact test
+  // (2x + 3y <= 4 with the rest) is rationally nonempty, so only the
+  // budgeted branch-and-bound can prove it away — and every other
+  // constraint's test region contains an integer point, so nothing else
+  // is removable. A starved budget must therefore keep everything.
+  System S = boxSystem(0, 1000);
+  AffineExpr C1(2);
+  C1.coeff(0) = 1;
+  C1.coeff(1) = 3;
+  C1.constant() = -4;
+  AffineExpr Gap(2);
+  Gap.coeff(0) = 2;
+  Gap.coeff(1) = 3;
+  Gap.constant() = -5;
+  S.addGE(std::move(C1));
+  S.addGE(std::move(Gap));
+  unsigned Before = S.numConstraints();
+  projectionOptions().Cache = false; // no cross-talk between the runs
+
+  auto hasGapRow = [](const System &Sys) {
+    for (const Constraint &C : Sys.constraints())
+      if (!C.isEquality() && C.Expr.coeff(0) == 2 &&
+          C.Expr.coeff(1) == 3 && C.Expr.constant() == -5)
+        return true;
+    return false;
+  };
+
+  System Starved = S;
+  Starved.removeRedundant(1);
+  EXPECT_EQ(Starved.numConstraints(), Before)
+      << "an exhausted budget must keep constraints conservatively";
+  EXPECT_TRUE(hasGapRow(Starved));
+
+  System Funded = S;
+  Funded.removeRedundant(2000000);
+  EXPECT_EQ(Funded.numConstraints(), Before - 1);
+  EXPECT_FALSE(hasGapRow(Funded))
+      << "a funded exact test proves the integer-gap constraint "
+         "redundant";
+}
+
+TEST(ProjectionStats, RedundancyQuickKillsAreCounted) {
+  ProjectionSandbox Sandbox;
+  System S = boxSystem(0, 10);
+  // Same coefficient row as x >= 0 with a weaker constant: a pure
+  // syntactic kill, no exact test needed.
+  S.addGE(S.varExpr(0).plusConst(5));
+  S.removeRedundant();
+  EXPECT_EQ(S.numConstraints(), 4u);
+  EXPECT_GT(projectionStats().RedundancyQuickKills, 0u);
+}
+
+TEST(ProjectionStats, ProjectionCacheServesRepeatedQueries) {
+  ProjectionSandbox Sandbox;
+  System S = boxSystem(0, 10);
+  S.addGE(S.varExpr(1) - S.varExpr(0)); // x <= y
+  System P1 = S.projectedOnto({0});
+  System P2 = S.projectedOnto({0});
+  EXPECT_EQ(projectionStats().ProjectionCalls, 2u);
+  EXPECT_EQ(projectionStats().ProjectionCacheHits, 1u);
+  EXPECT_EQ(P1.numConstraints(), P2.numConstraints());
+  EXPECT_EQ(P1.numVars(), 1u);
+}
+
+TEST(ProjectionStats, OrderHeuristicPreservesProjectionSemantics) {
+  ProjectionSandbox Sandbox;
+  projectionOptions().Cache = false;
+  System S = boxSystem(-6, 6);
+  S.addGE(S.varExpr(0).scale(2) - S.varExpr(1).plusConst(-1));
+  S.addGE(S.varExpr(1).scale(3) - S.varExpr(0));
+
+  projectionOptions().OrderHeuristic = true;
+  bool ExactOn = true;
+  System POn = S.projectedOnto({1}, &ExactOn);
+  projectionOptions().OrderHeuristic = false;
+  bool ExactOff = true;
+  System POff = S.projectedOnto({1}, &ExactOff);
+
+  // Every y of an integer point of S lies in both projections (they are
+  // overapproximations at worst); when both legs are exact they must
+  // agree everywhere.
+  for (IntT X = -6; X <= 6; ++X)
+    for (IntT Y = -6; Y <= 6; ++Y)
+      if (S.holds({X, Y})) {
+        EXPECT_TRUE(POn.holds({Y})) << "y = " << Y;
+        EXPECT_TRUE(POff.holds({Y})) << "y = " << Y;
+      }
+  if (ExactOn && ExactOff) {
+    for (IntT Y = -8; Y <= 8; ++Y)
+      EXPECT_EQ(POn.holds({Y}), POff.holds({Y})) << "y = " << Y;
+  }
+}
+
+TEST(ProjectionStats, PhaseTimerAccumulatesInclusiveTime) {
+  ProjectionSandbox Sandbox;
+  resetPhaseProfiles();
+  {
+    PhaseTimer Outer("test.outer");
+    System S = boxSystem(0, 50);
+    EXPECT_EQ(S.checkIntegerFeasible(), Feasibility::Feasible);
+    PhaseTimer Inner("test.inner");
+    EXPECT_EQ(S.checkIntegerFeasible(), Feasibility::Feasible);
+  }
+  const std::vector<PhaseProfile> &Ps = phaseProfiles();
+  ASSERT_EQ(Ps.size(), 2u);
+  const PhaseProfile *Outer = nullptr, *Inner = nullptr;
+  for (const PhaseProfile &P : Ps) {
+    if (P.Name == "test.outer")
+      Outer = &P;
+    if (P.Name == "test.inner")
+      Inner = &P;
+  }
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Outer->Invocations, 1u);
+  EXPECT_EQ(Inner->Invocations, 1u);
+  EXPECT_EQ(Outer->Delta.FeasQueries, 2u) << "outer timer is inclusive";
+  EXPECT_EQ(Inner->Delta.FeasQueries, 1u);
+  EXPECT_GE(Outer->Seconds, Inner->Seconds);
+  resetPhaseProfiles();
+  EXPECT_TRUE(phaseProfiles().empty());
+}
+
+} // namespace

@@ -16,6 +16,14 @@
 //                            from `param NAME = VALUE;` declarations)
 //     --no-self-reuse --no-group-reuse --no-multicast --no-aggressive
 //                            optimization ablations
+//     --stats                compile-phase profile: wall time per phase,
+//                            feasibility/projection cache hit rates,
+//                            Fourier-Motzkin counters
+//     --node-budget N        branch-and-bound node budget for all
+//                            polyhedral queries (0 keeps the defaults)
+//     --no-proj-cache        disable projection/feasibility memoization
+//     --no-proj-heuristics   disable syntactic quick-checks and the
+//                            elimination-order heuristic
 //
 //   Fault injection (simulation only; enables the reliable transport):
 //     --fault-seed S         deterministic fault-schedule seed
@@ -50,6 +58,44 @@ using namespace dmcc;
 
 namespace {
 
+/// Renders the --stats report: per-phase wall time with the dominant
+/// polyhedral counters, then compile-wide cache totals.
+void printCompileStats(const CompileStats &St) {
+  std::printf("compile: %.3f ms total\n", St.CompileSeconds * 1e3);
+  std::printf("  %-16s %10s %6s %10s %10s %8s\n", "phase", "ms", "calls",
+              "feas", "fm-elims", "nodes");
+  for (const PhaseProfile &Ph : St.Phases)
+    std::printf("  %-16s %10.3f %6llu %10llu %10llu %8llu\n",
+                Ph.Name.c_str(), Ph.Seconds * 1e3,
+                static_cast<unsigned long long>(Ph.Invocations),
+                static_cast<unsigned long long>(Ph.Delta.FeasQueries),
+                static_cast<unsigned long long>(Ph.Delta.FmEliminations),
+                static_cast<unsigned long long>(Ph.Delta.NodesExpanded));
+  const ProjectionStats &PS = St.Proj;
+  std::printf("feasibility: %llu queries, %.1f%% cache hits, %llu "
+              "unknown, %llu search nodes\n",
+              static_cast<unsigned long long>(PS.FeasQueries),
+              PS.feasHitRate() * 100.0,
+              static_cast<unsigned long long>(PS.FeasUnknown),
+              static_cast<unsigned long long>(PS.NodesExpanded));
+  std::printf("projection: %llu FM eliminations, %llu projections "
+              "(%llu cached), %llu lexmax, %llu scans\n",
+              static_cast<unsigned long long>(PS.FmEliminations),
+              static_cast<unsigned long long>(PS.ProjectionCalls),
+              static_cast<unsigned long long>(PS.ProjectionCacheHits),
+              static_cast<unsigned long long>(PS.LexMaxCalls),
+              static_cast<unsigned long long>(PS.ScanCalls));
+  std::printf("redundancy: %llu calls (%llu cached), %llu exact tests, "
+              "%llu quick kills\n",
+              static_cast<unsigned long long>(PS.RedundancyCalls),
+              static_cast<unsigned long long>(PS.RedundancyCacheHits),
+              static_cast<unsigned long long>(PS.RedundancyTests),
+              static_cast<unsigned long long>(PS.RedundancyQuickKills));
+  std::printf("caches: %llu entries live, %llu evictions\n",
+              static_cast<unsigned long long>(projectionCacheEntries()),
+              static_cast<unsigned long long>(PS.CacheEvictions));
+}
+
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s FILE [--print-program] [--print-lwt] "
@@ -57,6 +103,8 @@ int usage(const char *Argv0) {
                "       [--simulate P] [--functional] [--param N=V]...\n"
                "       [--no-self-reuse] [--no-group-reuse] "
                "[--no-multicast] [--no-aggressive]\n"
+               "       [--stats] [--node-budget N] [--no-proj-cache] "
+               "[--no-proj-heuristics]\n"
                "       [--fault-seed S] [--drop-rate R] [--dup-rate R] "
                "[--max-delay T]\n"
                "       [--retry-timeout T] [--max-retries N] "
@@ -74,7 +122,7 @@ int main(int Argc, char **Argv) {
     return usage(Argv[0]);
   const char *File = nullptr;
   bool PrintProgram = false, PrintLWT = false, PrintComm = false;
-  bool PrintSpmd = false, Functional = false;
+  bool PrintSpmd = false, Functional = false, PrintStats = false;
   IntT SimProcs = 0;
   CompilerOptions Opts;
   FaultOptions Faults;
@@ -101,6 +149,22 @@ int main(int Argc, char **Argv) {
       Opts.DetectMulticast = false;
     else if (std::strcmp(A, "--no-aggressive") == 0)
       Opts.AggressiveAggregation = false;
+    else if (std::strcmp(A, "--stats") == 0)
+      PrintStats = true;
+    else if (std::strcmp(A, "--node-budget") == 0 && I + 1 < Argc) {
+      unsigned B = static_cast<unsigned>(std::atoll(Argv[++I]));
+      if (B != 0) {
+        Opts.Projection.FeasibilityBudget = B;
+        Opts.Projection.RedundancyBudget = B;
+        Opts.Projection.ScanBudget = B;
+        Opts.Projection.SearchBudget = B;
+      }
+    } else if (std::strcmp(A, "--no-proj-cache") == 0)
+      Opts.Projection.Cache = false;
+    else if (std::strcmp(A, "--no-proj-heuristics") == 0) {
+      Opts.Projection.QuickChecks = false;
+      Opts.Projection.OrderHeuristic = false;
+    }
     else if (std::strcmp(A, "--simulate") == 0 && I + 1 < Argc)
       SimProcs = std::atoll(Argv[++I]);
     else if (std::strcmp(A, "--fault-seed") == 0 && I + 1 < Argc)
@@ -171,6 +235,8 @@ int main(int Argc, char **Argv) {
   for (const auto &[Name, V] : SP.ParamDefaults)
     Params.emplace(Name, V);
 
+  projectionOptions() = Opts.Projection;
+
   if (PrintProgram)
     std::printf("%s\n", P.str().c_str());
   if (PrintLWT) {
@@ -187,6 +253,8 @@ int main(int Argc, char **Argv) {
   }
   if (!CP.Diagnostics.empty())
     std::fprintf(stderr, "%s", CP.Diagnostics.c_str());
+  if (PrintStats)
+    printCompileStats(CP.Stats);
   if (PrintComm) {
     for (const CommPlan &Pl : CP.Comms)
       std::printf("[agg %u%s] %s\n", Pl.AggLevel,
