@@ -78,8 +78,9 @@ struct CompileStats {
   /// (feasibility queries, cache hits, FM eliminations, ...).
   ProjectionStats Proj;
   /// Per-phase wall time and counter deltas ("dataflow.lwt",
-  /// "comm.commsets", "codegen.scan", ...); phases may nest, so the
-  /// seconds are inclusive and do not sum to CompileSeconds.
+  /// "comm.commsets", "codegen.scan", ...). Nested phases are excluded
+  /// from their parents, so each row is exclusive (self) cost and the
+  /// rows sum to the instrumented share of CompileSeconds.
   std::vector<PhaseProfile> Phases;
 };
 

@@ -9,8 +9,14 @@ using namespace dmcc;
 
 namespace {
 
-ProjectionOptions GlobalOptions;
-ProjectionStats GlobalStats;
+// All mutable state of the polyhedral core is thread_local: each thread
+// owns private options, counters, caches and an active-phase chain, so
+// threaded callers (e.g. the threaded simulator driving compilations
+// from workers) cannot corrupt each other's entries or counters, with
+// no locks on the compiler's hottest paths. Single-threaded behavior is
+// unchanged — the main thread sees exactly the old globals.
+thread_local ProjectionOptions GlobalOptions;
+thread_local ProjectionStats GlobalStats;
 
 double nowSeconds() {
   return std::chrono::duration<double>(
@@ -19,7 +25,11 @@ double nowSeconds() {
 }
 
 /// Accumulated phase table, in first-use order.
-std::vector<PhaseProfile> Phases;
+thread_local std::vector<PhaseProfile> Phases;
+
+/// Innermost live PhaseTimer on this thread: the parent chain that lets
+/// a closing child report its inclusive totals for exclusion.
+thread_local PhaseTimer *ActiveTimer = nullptr;
 
 PhaseProfile &phaseSlot(const char *Name) {
   for (PhaseProfile &P : Phases)
@@ -61,8 +71,8 @@ private:
   std::unordered_map<detail::CacheKey, V, detail::CacheKeyHash> Map;
 };
 
-BoundedCache<FeasEntry> FeasCache;
-BoundedCache<SysEntry> SysCache;
+thread_local BoundedCache<FeasEntry> FeasCache;
+thread_local BoundedCache<SysEntry> SysCache;
 
 } // namespace
 
@@ -101,29 +111,48 @@ ProjectionStats ProjectionStats::operator-(const ProjectionStats &O) const {
   return R;
 }
 
+ProjectionStats &ProjectionStats::operator+=(const ProjectionStats &O) {
+  FeasQueries += O.FeasQueries;
+  FeasCacheHits += O.FeasCacheHits;
+  FeasCacheMisses += O.FeasCacheMisses;
+  FeasUnknown += O.FeasUnknown;
+  NodesExpanded += O.NodesExpanded;
+  FmEliminations += O.FmEliminations;
+  RedundancyCalls += O.RedundancyCalls;
+  RedundancyTests += O.RedundancyTests;
+  RedundancyQuickKills += O.RedundancyQuickKills;
+  RedundancyCacheHits += O.RedundancyCacheHits;
+  ProjectionCalls += O.ProjectionCalls;
+  ProjectionCacheHits += O.ProjectionCacheHits;
+  CacheEvictions += O.CacheEvictions;
+  LexMaxCalls += O.LexMaxCalls;
+  ScanCalls += O.ScanCalls;
+  return *this;
+}
+
 PhaseTimer::PhaseTimer(const char *Name)
-    : Name(Name), Snap(GlobalStats), T0(nowSeconds()) {}
+    : Name(Name), Snap(GlobalStats), T0(nowSeconds()),
+      Parent(ActiveTimer) {
+  ActiveTimer = this;
+}
 
 PhaseTimer::~PhaseTimer() {
-  PhaseProfile &P = phaseSlot(Name);
-  P.Seconds += nowSeconds() - T0;
-  ++P.Invocations;
+  // Exclusive attribution: this phase keeps its own elapsed time and
+  // counter delta minus what completed child phases already claimed;
+  // the full inclusive totals are handed up to the parent for the same
+  // exclusion there. The phase table is therefore a partition — summing
+  // the rows gives the true total, with nothing double-counted.
+  double Elapsed = nowSeconds() - T0;
   ProjectionStats D = GlobalStats - Snap;
-  P.Delta.FeasQueries += D.FeasQueries;
-  P.Delta.FeasCacheHits += D.FeasCacheHits;
-  P.Delta.FeasCacheMisses += D.FeasCacheMisses;
-  P.Delta.FeasUnknown += D.FeasUnknown;
-  P.Delta.NodesExpanded += D.NodesExpanded;
-  P.Delta.FmEliminations += D.FmEliminations;
-  P.Delta.RedundancyCalls += D.RedundancyCalls;
-  P.Delta.RedundancyTests += D.RedundancyTests;
-  P.Delta.RedundancyQuickKills += D.RedundancyQuickKills;
-  P.Delta.RedundancyCacheHits += D.RedundancyCacheHits;
-  P.Delta.ProjectionCalls += D.ProjectionCalls;
-  P.Delta.ProjectionCacheHits += D.ProjectionCacheHits;
-  P.Delta.CacheEvictions += D.CacheEvictions;
-  P.Delta.LexMaxCalls += D.LexMaxCalls;
-  P.Delta.ScanCalls += D.ScanCalls;
+  PhaseProfile &P = phaseSlot(Name);
+  P.Seconds += Elapsed - ChildSeconds;
+  ++P.Invocations;
+  P.Delta += D - ChildDelta;
+  if (Parent) {
+    Parent->ChildSeconds += Elapsed;
+    Parent->ChildDelta += D;
+  }
+  ActiveTimer = Parent;
 }
 
 std::vector<PhaseProfile> dmcc::phaseProfiles() { return Phases; }

@@ -21,8 +21,12 @@
 ///   * the canonicalizing memo caches used by System (keyed on the
 ///     normalized, sorted constraint matrix, with a bounded size).
 ///
-/// Everything here is process-global and single-threaded, like the rest
-/// of the compiler. See DESIGN.md section 9.
+/// Every piece of mutable state here — options, counters, caches, the
+/// phase table — is thread_local: each thread gets a private instance,
+/// so concurrent compilations (e.g. driven from the threaded simulator's
+/// workers) never contend or corrupt each other, and the single-threaded
+/// compiler sees exactly the historical process-global behavior. See
+/// DESIGN.md sections 9 and 10.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,7 +47,7 @@ namespace dmcc {
 /// the piece, explore the branch).
 enum class Feasibility { Empty, Feasible, Unknown };
 
-/// Tuning for the polyhedral core. One instance is process-global
+/// Tuning for the polyhedral core. One instance per thread
 /// (projectionOptions()); compile() installs the per-run copy carried in
 /// CompilerOptions for its duration, and the CLI exposes the budget and
 /// the accelerator toggles as flags.
@@ -75,11 +79,11 @@ struct ProjectionOptions {
   unsigned CacheCapacity = 8192;
 };
 
-/// The process-global options instance (mutable).
+/// This thread's options instance (mutable, thread_local).
 ProjectionOptions &projectionOptions();
 
-/// Monotonic counters for everything the polyhedral core does. All
-/// counters are process-global; phases snapshot and subtract.
+/// Monotonic counters for everything the polyhedral core does. Each
+/// thread accumulates its own; phases snapshot and subtract.
 struct ProjectionStats {
   uint64_t FeasQueries = 0;       ///< checkIntegerFeasible entries
   uint64_t FeasCacheHits = 0;     ///< answered from the memo cache
@@ -98,6 +102,7 @@ struct ProjectionStats {
   uint64_t ScanCalls = 0;         ///< polyhedron scans
 
   ProjectionStats operator-(const ProjectionStats &O) const;
+  ProjectionStats &operator+=(const ProjectionStats &O);
 
   /// Feasibility-cache hit rate in [0,1]; 0 when no query was keyed.
   double feasHitRate() const {
@@ -106,7 +111,7 @@ struct ProjectionStats {
   }
 };
 
-/// The process-global counters (mutable; reset with resetProjectionStats).
+/// This thread's counters (mutable; reset with resetProjectionStats).
 ProjectionStats &projectionStats();
 void resetProjectionStats();
 
@@ -116,9 +121,11 @@ void clearProjectionCaches();
 std::size_t projectionCacheEntries();
 
 /// Wall time and counter deltas attributed to one named compile phase.
-/// Phases may nest (lexMax runs inside last-write construction); each
-/// accumulates its own inclusive time, so the taxonomy is a profile, not
-/// a partition.
+/// Phases may nest (lexMax runs inside last-write construction); a
+/// nested phase's time and counters are attributed to the innermost
+/// enclosing timer only, so each row is *exclusive* (self) cost and the
+/// taxonomy is a partition: summing the rows gives the true total with
+/// nothing double-counted.
 struct PhaseProfile {
   std::string Name;
   double Seconds = 0;
@@ -126,8 +133,10 @@ struct PhaseProfile {
   ProjectionStats Delta; ///< counters accumulated while the phase ran
 };
 
-/// RAII phase scope: accumulates wall time and ProjectionStats deltas
-/// into the process-global phase table under \p Name.
+/// RAII phase scope: accumulates exclusive wall time and
+/// ProjectionStats deltas into this thread's phase table under \p Name.
+/// Timers form a per-thread stack; a closing child hands its inclusive
+/// totals to its parent, which subtracts them from its own attribution.
 class PhaseTimer {
 public:
   explicit PhaseTimer(const char *Name);
@@ -139,6 +148,9 @@ private:
   const char *Name;
   ProjectionStats Snap;
   double T0;
+  PhaseTimer *Parent;          ///< enclosing timer on this thread
+  double ChildSeconds = 0;     ///< inclusive seconds of closed children
+  ProjectionStats ChildDelta;  ///< inclusive deltas of closed children
 };
 
 /// Snapshot of the accumulated phase table, in first-use order.

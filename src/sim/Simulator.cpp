@@ -5,7 +5,11 @@
 #include "ir/Interp.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
 #include <set>
+#include <thread>
 
 using namespace dmcc;
 
@@ -50,6 +54,14 @@ struct Simulator::Message {
   /// Reliable-transport sequence number on this channel (0 when the
   /// transport is bypassed).
   uint64_t Seq = 0;
+  /// Flat Procs index of the sender and the scheduler round of the push.
+  /// The threaded engine's visibility rule reads both to reproduce the
+  /// sequential engine's intra-round ordering: a current-round push is
+  /// visible to a receiver only when the sender's processor index does
+  /// not exceed the receiver's (the sequential scheduler would have run
+  /// the sender's slice first). Ignored by the sequential engine.
+  unsigned SenderId = 0;
+  uint64_t PushRound = 0;
 };
 
 struct Simulator::Frame {
@@ -128,6 +140,239 @@ struct Simulator::Checkpoint {
   std::vector<uint64_t> WordsPerPhys;
 };
 
+/// Everything one slice of one virtual processor needs beyond the
+/// processor itself: where counters, transport failures and crash
+/// events go, the exact global-event base for the checkpoint gate and
+/// the runaway budget, and — in threaded runs — the engine hooks for
+/// the wavefront visibility rule.
+struct Simulator::StepCtx {
+  SimCounters &C;
+  std::vector<TransportFailure> &Failures;
+  std::vector<CrashEvent> &Crashes;
+  /// Global Events immediately before this slice. Exact in the
+  /// sequential engine and in serialized (checkpoint-imminent) threaded
+  /// rounds; the round-start value otherwise.
+  uint64_t EventsBase = 0;
+  /// Statements executed by this slice (out-parameter; blocked receive
+  /// attempts are not counted, matching the sequential engine).
+  uint64_t Executed = 0;
+  /// Whether the checkpoint gate may fire inside this slice. Parallel
+  /// threaded rounds disable it — they are classified so the gate
+  /// provably cannot trigger in the sequential engine either.
+  bool GateCheckpoints = true;
+  uint64_t Round = 0;          ///< scheduler round (message tagging)
+  ThreadEngine *TE = nullptr;  ///< non-null in threaded runs
+};
+
+/// The threaded engine: a persistent pool of worker threads, one round
+/// barrier, and per-processor completion tracking for the wavefront
+/// rule. Physical processor p is owned by worker p % Workers for the
+/// whole run, so per-physical clocks and busy buckets are single-writer
+/// by construction; each worker steps its processors in ascending flat
+/// index, which the visibility and wait rules below extend to the exact
+/// sequential order where it is observable. See DESIGN.md §10 for the
+/// determinism argument.
+struct Simulator::ThreadEngine {
+  Simulator &S;
+  const unsigned Workers;
+
+  /// Guards the round-control fields and DoneRound; the condition
+  /// variables hang off it.
+  std::mutex Mu;
+  std::condition_variable StartCv; ///< workers await a round start
+  std::condition_variable DoneCv;  ///< main awaits worker completion
+  std::condition_variable ProcCv;  ///< per-processor wavefront waits
+  uint64_t Round = 0;
+  bool Serial = false; ///< this round runs one processor at a time
+  bool Stop = false;
+  unsigned DoneWorkers = 0;
+  uint64_t EventsAtRoundStart = 0;
+  /// Serialized rounds only: Events plus the executed counts of every
+  /// processor that already finished this round — exactly the live
+  /// counter the sequential engine's checkpoint gate reads.
+  uint64_t PrefixEvents = 0;
+  std::vector<uint64_t> DoneRound; ///< per proc: last completed round
+
+  /// Per-processor round-local outputs, merged by the main thread in
+  /// ascending processor order so Failures/CrashLog keep the sequential
+  /// append order exactly.
+  std::vector<uint64_t> ProcExecuted;
+  std::vector<std::vector<TransportFailure>> ProcFailures;
+  std::vector<std::vector<CrashEvent>> ProcCrashes;
+
+  struct WorkerOut {
+    SimCounters C;
+    bool Progress = false, AllDone = true, AnyDead = false;
+  };
+  std::vector<WorkerOut> Outs;
+
+  /// Guards Queues, SendSeq and RecvSeq — the only state two workers
+  /// can touch concurrently. Message operations are rare next to
+  /// compute statements, so one lock suffices.
+  std::mutex ChanMu;
+
+  std::vector<std::thread> Threads;
+
+  ThreadEngine(Simulator &S, unsigned Workers) : S(S), Workers(Workers) {
+    DoneRound.assign(S.Procs.size(), 0);
+    ProcExecuted.assign(S.Procs.size(), 0);
+    ProcFailures.resize(S.Procs.size());
+    ProcCrashes.resize(S.Procs.size());
+    Outs.resize(Workers);
+    Threads.reserve(Workers);
+    for (unsigned W = 0; W != Workers; ++W)
+      Threads.emplace_back([this, W] { workerLoop(W); });
+  }
+
+  ~ThreadEngine() {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      Stop = true;
+    }
+    StartCv.notify_all();
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  bool procDone(unsigned J, uint64_t R) {
+    std::lock_guard<std::mutex> L(Mu);
+    return DoneRound[J] >= R;
+  }
+
+  void waitProcDone(unsigned J, uint64_t R) {
+    std::unique_lock<std::mutex> L(Mu);
+    ProcCv.wait(L, [&] { return DoneRound[J] >= R; });
+  }
+
+  void markDone(unsigned J, uint64_t Executed, bool SerialRound) {
+    std::lock_guard<std::mutex> L(Mu);
+    ProcExecuted[J] = Executed;
+    if (SerialRound)
+      PrefixEvents += Executed;
+    DoneRound[J] = Round;
+    ProcCv.notify_all();
+  }
+
+  void workerLoop(unsigned W) {
+    uint64_t Seen = 0;
+    for (;;) {
+      bool SerialRound;
+      {
+        std::unique_lock<std::mutex> L(Mu);
+        StartCv.wait(L, [&] { return Stop || Round > Seen; });
+        if (Stop)
+          return;
+        Seen = Round;
+        SerialRound = Serial;
+      }
+      WorkerOut &Out = Outs[W];
+      for (unsigned J = 0, E = S.Procs.size(); J != E; ++J) {
+        if (S.Procs[J].Phys % Workers != W)
+          continue;
+        runProc(J, Seen, SerialRound, Out);
+      }
+      {
+        std::lock_guard<std::mutex> L(Mu);
+        if (++DoneWorkers == Workers)
+          DoneCv.notify_all();
+      }
+    }
+  }
+
+  void runProc(unsigned J, uint64_t R, bool SerialRound, WorkerOut &Out) {
+    // Serialized (checkpoint-imminent) rounds reproduce the sequential
+    // processor order in full: nobody starts until every lower-index
+    // processor has completed this round, so the events gate sees the
+    // exact live counter. The predecessor chain suffices — J-1 was
+    // itself only marked done after J-2, inductively.
+    if (SerialRound && J > 0)
+      waitProcDone(J - 1, R);
+    VirtProc &V = S.Procs[J];
+    if (V.Crashed) {
+      Out.AllDone = false;
+      Out.AnyDead = true;
+      markDone(J, 0, SerialRound);
+      return;
+    }
+    if (V.Finished) {
+      markDone(J, 0, SerialRound);
+      return;
+    }
+    V.Blocked = false;
+    StepCtx Ctx{Out.C, ProcFailures[J], ProcCrashes[J]};
+    Ctx.TE = this;
+    Ctx.Round = R;
+    if (SerialRound) {
+      {
+        std::lock_guard<std::mutex> L(Mu);
+        Ctx.EventsBase = PrefixEvents;
+      }
+      Ctx.GateCheckpoints = true;
+    } else {
+      // Parallel rounds are classified so the gate cannot trigger (in
+      // either engine); the stale base only delays the runaway-budget
+      // abort, which runRound re-checks at the barrier.
+      Ctx.EventsBase = EventsAtRoundStart;
+      Ctx.GateCheckpoints = false;
+    }
+    if (S.stepProc(V, Ctx))
+      Out.Progress = true;
+    if (V.Crashed)
+      Out.AnyDead = true;
+    if (!V.Finished)
+      Out.AllDone = false;
+    markDone(J, Ctx.Executed, SerialRound);
+  }
+
+  /// Runs one barrier-synchronized round across the pool and merges all
+  /// per-worker and per-processor outputs back into the simulator, in
+  /// the sequential engine's order.
+  RoundFlags runRound() {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      ++Round;
+      EventsAtRoundStart = S.Events;
+      PrefixEvents = S.Events;
+      // Checkpoint-imminent classification: if the gate could fire
+      // inside this round even when every processor runs a full slice,
+      // serialize the round. Otherwise Events stays strictly below the
+      // trigger for the whole round in the sequential engine too, so
+      // running the gate-free parallel path is exact.
+      Serial = S.NextCheckpointEvents != 0 &&
+               S.Events + static_cast<uint64_t>(S.Procs.size()) *
+                              S.sliceBudget() >=
+                   S.NextCheckpointEvents;
+      DoneWorkers = 0;
+    }
+    StartCv.notify_all();
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      DoneCv.wait(L, [&] { return DoneWorkers == Workers; });
+    }
+    RoundFlags F;
+    for (WorkerOut &O : Outs) {
+      F.Progress = F.Progress || O.Progress;
+      F.AllDone = F.AllDone && O.AllDone;
+      F.AnyDead = F.AnyDead || O.AnyDead;
+      S.Ctr.add(O.C);
+      O = WorkerOut();
+    }
+    for (unsigned J = 0, E = S.Procs.size(); J != E; ++J) {
+      S.Events += ProcExecuted[J];
+      ProcExecuted[J] = 0;
+      for (TransportFailure &TF : ProcFailures[J])
+        S.Failures.push_back(std::move(TF));
+      ProcFailures[J].clear();
+      for (CrashEvent &CE : ProcCrashes[J])
+        S.CrashLog.push_back(std::move(CE));
+      ProcCrashes[J].clear();
+    }
+    if (S.Events > S.Opts.MaxEvents)
+      fatalError("simulation event budget exhausted");
+    return F;
+  }
+};
+
 //===----------------------------------------------------------------------===//
 // Setup
 //===----------------------------------------------------------------------===//
@@ -140,7 +385,21 @@ Simulator::Simulator(const Program &P, const CompiledProgram &CP,
       Faults(this->Opts.Faults) {
   assert(this->Opts.PhysGrid.size() == CP.Spmd.GridDims &&
          "physical grid arity mismatch");
+  for (IntT G : this->Opts.PhysGrid)
+    if (G < 1)
+      fatalError("Simulator: physical grid dimensions must be >= 1");
   computeVirtualGrid();
+
+  // Row-major strides of the virtual grid: the flat Procs index of a
+  // coordinate, matching the construction odometer below. Checked — a
+  // pathological grid overflows here instead of wrapping.
+  {
+    unsigned Dims = CP.Spmd.GridDims;
+    VirtStride.assign(Dims, 1);
+    for (unsigned D = Dims; D-- > 1;)
+      VirtStride[D - 1] =
+          mulChk(VirtStride[D], addChk(subChk(VirtHi[D], VirtLo[D]), 1));
+  }
 
   // Parameter values aligned to the SPMD space.
   ParamEnv.assign(CP.Spmd.Sp.size(), 0);
@@ -186,6 +445,8 @@ Simulator::Simulator(const Program &P, const CompiledProgram &CP,
   IntT PhysCount = 1;
   for (IntT G : this->Opts.PhysGrid)
     PhysCount = mulChk(PhysCount, G);
+  if (PhysCount > static_cast<IntT>(std::numeric_limits<unsigned>::max()))
+    fatalError("Simulator: physical processor count overflows unsigned");
   PhysClock.assign(PhysCount, 0.0);
   PhysBusy.assign(PhysCount, 0.0);
   BusyCompute.assign(PhysCount, 0.0);
@@ -202,12 +463,68 @@ Simulator::Simulator(const Program &P, const CompiledProgram &CP,
 }
 
 unsigned Simulator::physOf(const std::vector<IntT> &VirtCoord) const {
-  unsigned Phys = 0;
+  // pi(v) = v mod P per dimension, row-major flattened. The fold and
+  // the flattening run in checked IntT; the constructor verified the
+  // physical processor count fits an unsigned, and the result is always
+  // below that count, so the final narrowing is value-preserving.
+  IntT Phys = 0;
   for (unsigned D = 0, E = VirtCoord.size(); D != E; ++D) {
     IntT F = floorMod(VirtCoord[D], Opts.PhysGrid[D]);
-    Phys = static_cast<unsigned>(Phys * Opts.PhysGrid[D] + F);
+    Phys = addChk(mulChk(Phys, Opts.PhysGrid[D]), F);
   }
-  return Phys;
+  return static_cast<unsigned>(Phys);
+}
+
+bool Simulator::procIndexOf(const std::vector<IntT> &Coord,
+                            unsigned &Out) const {
+  if (Coord.size() != VirtLo.size())
+    return false;
+  IntT Flat = 0;
+  for (unsigned D = 0, E = Coord.size(); D != E; ++D) {
+    if (Coord[D] < VirtLo[D] || Coord[D] > VirtHi[D])
+      return false;
+    Flat = addChk(Flat,
+                  mulChk(VirtStride[D], subChk(Coord[D], VirtLo[D])));
+  }
+  Out = static_cast<unsigned>(Flat);
+  return true;
+}
+
+unsigned Simulator::sliceBudget() const {
+  // Short slices when crashes or checkpoints are in play: both trigger
+  // at round boundaries, so the boundary spacing bounds how stale a
+  // crash detection or a checkpoint line can be.
+  return (Opts.Faults.CrashRate > 0 || Opts.Checkpoint.enabled())
+             ? 512
+             : 200000;
+}
+
+unsigned Simulator::effectiveWorkers() const {
+  unsigned W = Opts.Threads;
+  if (W == 0) {
+    W = std::thread::hardware_concurrency();
+    if (W == 0)
+      W = 1;
+  }
+  // More workers than physical processors would idle: processor p is
+  // owned by worker p % W, so surplus workers own nothing.
+  unsigned PhysCount = static_cast<unsigned>(PhysClock.size());
+  if (PhysCount != 0 && W > PhysCount)
+    W = PhysCount;
+  return W == 0 ? 1 : W;
+}
+
+void Simulator::flushCounters(SimResult &R) const {
+  R.Messages = Ctr.Messages;
+  R.IntraMessages = Ctr.IntraMessages;
+  R.Words = Ctr.Words;
+  R.Flops = Ctr.Flops;
+  R.ComputeIterations = Ctr.ComputeIterations;
+  R.Retransmissions = Ctr.Retransmissions;
+  R.DroppedPackets = Ctr.DroppedPackets;
+  R.DuplicatesSuppressed = Ctr.DuplicatesSuppressed;
+  R.AcksSent = Ctr.AcksSent;
+  R.Recovery.Crashes = Ctr.Crashes;
 }
 
 void Simulator::computeVirtualGrid() {
@@ -450,14 +767,18 @@ void Simulator::execComputeIter(VirtProc &V, const SpmdStmt &St) {
   V.Store[{S.Write.ArrayId, flatIndex(S.Write.ArrayId, WIdx)}] = Val;
 }
 
-bool Simulator::stepProc(VirtProc &V, SimResult &R) {
+bool Simulator::stepProc(VirtProc &V, StepCtx &Ctx) {
   bool Ran = false;
-  // Short slices when crashes or checkpoints are in play: both trigger
-  // at round boundaries, so the boundary spacing bounds how stale a
-  // crash detection or a checkpoint line can be.
   const bool CrashActive = Opts.Faults.CrashRate > 0;
-  unsigned Slice =
-      (CrashActive || Opts.Checkpoint.enabled()) ? 512 : 200000;
+  unsigned Slice = sliceBudget();
+  ThreadEngine *TE = Ctx.TE;
+  // Channel-state lock (Queues/SendSeq/RecvSeq): a real lock only under
+  // the threaded engine; the sequential engine constructs an unlocked
+  // guard and pays nothing.
+  auto ChanGuard = [TE]() {
+    return TE ? std::unique_lock<std::mutex>(TE->ChanMu)
+              : std::unique_lock<std::mutex>();
+  };
   double &Clock = PhysClock[V.Phys];
   double &Busy = PhysBusy[V.Phys];
   // Injected per-processor slowdown; exactly 1.0 (cost-neutral) unless
@@ -503,8 +824,10 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
                   Simple = false;
               }
               if (Simple && Items == 1) {
-                Count += static_cast<uint64_t>(Hi - Lo + 1);
-                Cursor += static_cast<uint64_t>(Hi - Lo + 1);
+                uint64_t Trip =
+                    static_cast<uint64_t>(addChk(subChk(Hi, Lo), 1));
+                Count += Trip;
+                Cursor += Trip;
                 break;
               }
             }
@@ -561,7 +884,8 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
       continue;
     }
     const SpmdStmt &St = (*F.List)[F.Pos];
-    if (NextCheckpointEvents != 0 && Events >= NextCheckpointEvents)
+    if (Ctx.GateCheckpoints && NextCheckpointEvents != 0 &&
+        Ctx.EventsBase + Ctx.Executed >= NextCheckpointEvents)
       // A checkpoint is due: pause at this statement boundary so the
       // scheduler can draw the line once every processor has yielded.
       return Ran;
@@ -573,11 +897,12 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
       // number of rollbacks by the processor count.
       HasCrashed[V.Id] = 1;
       V.Crashed = true;
-      CrashLog.push_back(CrashEvent{V.Coord, V.Phys, V.Steps, Clock});
-      ++R.Recovery.Crashes;
+      Ctx.Crashes.push_back(CrashEvent{V.Coord, V.Phys, V.Steps, Clock});
+      ++Ctx.C.Crashes;
       return Ran;
     }
-    if (++Events > Opts.MaxEvents)
+    ++Ctx.Executed;
+    if (Ctx.EventsBase + Ctx.Executed > Opts.MaxEvents)
       fatalError("simulation event budget exhausted");
     ++V.Steps;
     switch (St.K) {
@@ -595,13 +920,13 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
       if (Lo > Hi)
         break;
       if (!Opts.Functional && Opts.CollapseLoops && isCollapsible(St)) {
-        uint64_t Trip = static_cast<uint64_t>(Hi - Lo + 1);
+        uint64_t Trip = static_cast<uint64_t>(addChk(subChk(Hi, Lo), 1));
         double C = 0;
         for (const SpmdStmt &B : St.Body)
           if (B.K == SpmdStmt::Kind::Compute) {
             C += statementCost(P.statement(B.StmtId));
-            R.Flops += Trip * countFlops(P.statement(B.StmtId));
-            R.ComputeIterations += Trip;
+            Ctx.C.Flops += Trip * countFlops(P.statement(B.StmtId));
+            Ctx.C.ComputeIterations += Trip;
           }
         Clock += Trip * C * SF;
         Busy += Trip * C * SF;
@@ -639,8 +964,8 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
       Clock += C;
       Busy += C;
       BusyCompute[V.Phys] += C;
-      R.Flops += countFlops(P.statement(St.StmtId));
-      ++R.ComputeIterations;
+      Ctx.C.Flops += countFlops(P.statement(St.StmtId));
+      ++Ctx.C.ComputeIterations;
       V.LastMulticastComm = -1;
       ++F.Pos;
       break;
@@ -678,6 +1003,10 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
       if (!InBurst)
         V.BurstPhys.clear();
       M.FromMulticast = St.IsMulticast;
+      // Tag for the threaded engine's visibility rule; the sequential
+      // engine never reads these.
+      M.SenderId = V.Id;
+      M.PushRound = Ctx.Round;
       std::vector<IntT> Key;
       Key.push_back(static_cast<IntT>(St.CommId));
       for (IntT C2 : V.Coord)
@@ -689,14 +1018,15 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
         // still sequenced when the transport is engaged — the receive
         // path matches sequence numbers on every channel, and the
         // rollback line is defined by a uniform per-channel cursor.
-        ++R.IntraMessages;
+        ++Ctx.C.IntraMessages;
         M.ReadyTime = Clock;
+        auto CG = ChanGuard();
         if (Faults.active()) {
           M.Seq = SendSeq[Key]++;
           if (M.Seq < RecvSeq[Key]) {
             // Replay of a send the receiver consumed before the
             // rollback line: suppressed on arrival.
-            ++R.DuplicatesSuppressed;
+            ++Ctx.C.DuplicatesSuppressed;
           } else {
             Queues[Key].push_back(std::move(M));
           }
@@ -709,6 +1039,7 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
         // its own acknowledged channel, so the multicast burst
         // wire-sharing shortcut does not apply here.
         uint64_t Chan = FaultModel::channelId(St.CommId, V.Coord, Dst);
+        auto CG = ChanGuard();
         uint64_t Seq = SendSeq[Key]++;
         M.Seq = Seq;
         // During post-rollback replay the receiver may already be past
@@ -732,50 +1063,51 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
           Offset += Faults.backoffDelay(A);
           ++Made;
           if (Faults.dropData(Chan, Seq, A)) {
-            ++R.DroppedPackets;
+            ++Ctx.C.DroppedPackets;
             continue;
           }
           Delivered = true;
           if (BelowWindow) {
-            ++R.DuplicatesSuppressed;
+            ++Ctx.C.DuplicatesSuppressed;
           } else {
             Message Copy = M;
             Copy.ReadyTime = Start + Offset + SendCost + DeliverLat +
                              Faults.deliveryDelay(Chan, Seq, A, 0);
             Queues[Key].push_back(std::move(Copy));
           }
-          ++R.AcksSent; // the receiver acknowledges this copy
+          ++Ctx.C.AcksSent; // the receiver acknowledges this copy
           if (Faults.duplicate(Chan, Seq, A)) {
             if (BelowWindow) {
-              ++R.DuplicatesSuppressed;
+              ++Ctx.C.DuplicatesSuppressed;
             } else {
               Message Dup = M;
               Dup.ReadyTime = Start + Offset + SendCost + DeliverLat +
                               Faults.deliveryDelay(Chan, Seq, A, 1);
               Queues[Key].push_back(std::move(Dup));
             }
-            ++R.AcksSent;
+            ++Ctx.C.AcksSent;
           }
           if (!Faults.dropAck(Chan, Seq, A))
             Acked = true;
         }
-        R.Retransmissions += Made - 1;
+        Ctx.C.Retransmissions += Made - 1;
         // Messages/Words stay logical (one per app-level send) so the
         // counters remain comparable across fault schedules; the wire
         // overhead shows up in Retransmissions and the clocks.
-        ++R.Messages;
-        R.Words += M.WordCount;
+        ++Ctx.C.Messages;
+        Ctx.C.Words += M.WordCount;
         Clock += SendCost;
         Busy += SendCost * Made;
         BusyProtocol[V.Phys] += SendCost * Made;
         if (!Delivered)
-          Failures.push_back(
+          Ctx.Failures.push_back(
               TransportFailure{St.CommId, V.Coord, Dst, Seq, Made});
       } else if (InBurst && V.BurstPhys.count(DstPhys)) {
         // Same physical processor already got this content in the burst:
         // one wire message serves every folded virtual processor.
-        ++R.IntraMessages;
+        ++Ctx.C.IntraMessages;
         M.ReadyTime = V.BurstReady;
+        auto CG = ChanGuard();
         Queues[Key].push_back(std::move(M));
       } else {
         double C;
@@ -786,13 +1118,14 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
         Clock += C;
         Busy += C;
         BusyProtocol[V.Phys] += C;
-        ++R.Messages;
-        R.Words += M.WordCount;
+        ++Ctx.C.Messages;
+        Ctx.C.Words += M.WordCount;
         M.ReadyTime =
             Clock + Opts.Cost.MsgLatency +
             static_cast<double>(M.WordCount) * Opts.Cost.WireTimePerWord;
         V.BurstPhys.insert(DstPhys);
         V.BurstReady = M.ReadyTime;
+        auto CG = ChanGuard();
         Queues[Key].push_back(std::move(M));
       }
       V.LastMulticastComm = St.IsMulticast ? static_cast<int>(St.CommId)
@@ -810,64 +1143,114 @@ bool Simulator::stepProc(VirtProc &V, SimResult &R) {
         Key.push_back(C2);
       for (IntT C2 : V.Coord)
         Key.push_back(C2);
-      auto It = Queues.find(Key);
       bool Transport = Faults.active();
-      uint64_t Expect = Transport ? RecvSeq[Key] : 0;
-      // Which queued message can this receive consume? Without the
-      // transport: the front (FIFO). With it: the earliest-arriving copy
-      // carrying exactly the expected sequence number; later sequence
-      // numbers may already be buffered (reordered delivery) but must
-      // wait their turn.
-      int Pick = -1;
-      if (It != Queues.end()) {
-        if (!Transport) {
-          if (!It->second.empty())
-            Pick = 0;
-        } else {
-          for (unsigned I = 0; I != It->second.size(); ++I) {
-            const Message &Cand = It->second[I];
-            if (Cand.Seq != Expect)
-              continue;
-            if (Pick < 0 ||
-                Cand.ReadyTime <
-                    It->second[static_cast<unsigned>(Pick)].ReadyTime)
-              Pick = static_cast<int>(I);
+      // Threaded wavefront rule: within a round the sequential scheduler
+      // runs lower-index processors' slices first, so their pushes this
+      // round ARE visible to this receive — the worker must wait for such
+      // a sender to finish its slice before it can conclude anything
+      // about the channel. With the transport engaged the wait is strict
+      // (before the first poll): rollback replay can interleave surviving
+      // in-flight copies with replayed same-sequence pushes, so even a
+      // deliverable-looking queue is not decisive until the sender's
+      // slice is complete.
+      unsigned SenderIdx = 0;
+      const bool SenderBelow =
+          TE && procIndexOf(Src, SenderIdx) && SenderIdx < V.Id;
+      if (SenderBelow && Transport)
+        TE->waitProcDone(SenderIdx, Ctx.Round);
+      Message M;
+      uint64_t Expect = 0;
+      for (;;) {
+        auto CG = ChanGuard();
+        auto It = Queues.find(Key);
+        Expect = Transport ? RecvSeq[Key] : 0;
+        // A message is visible if the sequential engine would have
+        // enqueued it by the time this receive runs: pushed in an
+        // earlier round, or this round by a sender whose slice the
+        // sequential scheduler runs no later than ours. One channel has
+        // one sender, so visibility is a queue prefix.
+        auto VisibleAt = [&](const Message &Cand) {
+          return !TE || Cand.PushRound < Ctx.Round ||
+                 Cand.SenderId <= V.Id;
+        };
+        // Which queued message can this receive consume? Without the
+        // transport: the front (FIFO). With it: the earliest-arriving
+        // copy carrying exactly the expected sequence number; later
+        // sequence numbers may already be buffered (reordered delivery)
+        // but must wait their turn.
+        int Pick = -1;
+        uint64_t Visible = 0;
+        if (It != Queues.end()) {
+          if (!Transport) {
+            for (const Message &Cand : It->second)
+              if (VisibleAt(Cand))
+                ++Visible;
+            if (Visible != 0)
+              Pick = 0;
+          } else {
+            for (unsigned I = 0; I != It->second.size(); ++I) {
+              const Message &Cand = It->second[I];
+              if (!VisibleAt(Cand))
+                continue;
+              ++Visible;
+              if (Cand.Seq != Expect)
+                continue;
+              if (Pick < 0 ||
+                  Cand.ReadyTime <
+                      It->second[static_cast<unsigned>(Pick)].ReadyTime)
+                Pick = static_cast<int>(I);
+            }
           }
         }
-      }
-      if (Pick < 0) {
-        // A blocked receive attempt is NOT progress: if every processor
-        // ends up here, the scheduler must report deadlock rather than
-        // spin retrying. Record what we were waiting for so the detector
-        // can name it.
-        V.Blocked = true;
-        V.LastBlock.Coord = V.Coord;
-        V.LastBlock.Phys = V.Phys;
-        V.LastBlock.CommId = St.CommId;
-        V.LastBlock.Peer = Src;
-        V.LastBlock.ExpectedSeq = Expect;
-        V.LastBlock.BufferedAhead =
-            It == Queues.end() ? 0 : It->second.size();
-        --Events;
-        --V.Steps;
-        return Ran;
+        if (Pick < 0) {
+          // Nothing deliverable. If a lower-index sender has not yet
+          // finished its slice this round, its (visible) push may still
+          // be coming: wait and re-poll rather than block.
+          if (SenderBelow && !TE->procDone(SenderIdx, Ctx.Round)) {
+            CG.unlock();
+            TE->waitProcDone(SenderIdx, Ctx.Round);
+            continue;
+          }
+          // A blocked receive attempt is NOT progress: if every
+          // processor ends up here, the scheduler must report deadlock
+          // rather than spin retrying. Record what we were waiting for
+          // so the detector can name it. The visible count equals the
+          // sequential queue size at every stall fixed-point (a
+          // no-progress round pushes nothing).
+          V.Blocked = true;
+          V.LastBlock.Coord = V.Coord;
+          V.LastBlock.Phys = V.Phys;
+          V.LastBlock.CommId = St.CommId;
+          V.LastBlock.Peer = Src;
+          V.LastBlock.ExpectedSeq = Expect;
+          V.LastBlock.BufferedAhead = Visible;
+          --Ctx.Executed;
+          --V.Steps;
+          return Ran;
+        }
+        M = std::move(It->second[static_cast<unsigned>(Pick)]);
+        It->second.erase(It->second.begin() + Pick);
+        if (Transport) {
+          // Suppress every other copy of this packet (wire duplicates
+          // and retransmissions whose ack was lost). Invisible copies
+          // with this sequence number are suppressed too: the
+          // sequential engine would have suppressed them at send time
+          // (the receiver's cursor is already past them when the sender
+          // runs later in the round), so totals and final queue state
+          // agree either way.
+          for (unsigned I = 0; I != It->second.size();) {
+            if (It->second[I].Seq == Expect) {
+              It->second.erase(It->second.begin() + I);
+              ++Ctx.C.DuplicatesSuppressed;
+            } else {
+              ++I;
+            }
+          }
+          RecvSeq[Key] = Expect + 1;
+        }
+        break;
       }
       Ran = true;
-      Message M = std::move(It->second[static_cast<unsigned>(Pick)]);
-      It->second.erase(It->second.begin() + Pick);
-      if (Transport) {
-        // Suppress every other copy of this packet (wire duplicates and
-        // retransmissions whose ack was lost).
-        for (unsigned I = 0; I != It->second.size();) {
-          if (It->second[I].Seq == Expect) {
-            It->second.erase(It->second.begin() + I);
-            ++R.DuplicatesSuppressed;
-          } else {
-            ++I;
-          }
-        }
-        RecvSeq[Key] = Expect + 1;
-      }
       if (M.ReadyTime > Clock)
         Clock = M.ReadyTime; // waiting, not busy
       uint64_t Cursor = 0, Count = 0;
@@ -910,9 +1293,38 @@ void Simulator::fillRecoverySplit(SimResult &R) const {
   R.Recovery.RecoverySeconds = RecoveryExtraSeconds;
 }
 
+Simulator::RoundFlags Simulator::runRoundSequential() {
+  RoundFlags F;
+  for (VirtProc &V : Procs) {
+    if (V.Crashed) {
+      // Dead until a rollback reincarnates it.
+      F.AllDone = false;
+      F.AnyDead = true;
+      continue;
+    }
+    if (V.Finished)
+      continue;
+    V.Blocked = false;
+    StepCtx Ctx{Ctr, Failures, CrashLog};
+    Ctx.EventsBase = Events;
+    if (stepProc(V, Ctx))
+      F.Progress = true;
+    Events += Ctx.Executed;
+    if (V.Crashed)
+      F.AnyDead = true;
+    if (!V.Finished)
+      F.AllDone = false;
+  }
+  return F;
+}
+
 SimResult Simulator::run() {
   SimResult R;
   const bool Recovery = Opts.Checkpoint.enabled();
+  const unsigned Workers = effectiveWorkers();
+  std::unique_ptr<ThreadEngine> TE;
+  if (Workers > 1)
+    TE = std::make_unique<ThreadEngine>(*this, Workers);
   if (Recovery) {
     // Free initial checkpoint: the staged input state itself is the
     // rollback line until the first interval elapses.
@@ -920,25 +1332,8 @@ SimResult Simulator::run() {
     takeCheckpoint(R, /*Initial=*/true);
   }
   while (true) {
-    bool Progress = false, AllDone = true, AnyDead = false;
-    for (VirtProc &V : Procs) {
-      if (V.Crashed) {
-        // Dead until a rollback reincarnates it.
-        AllDone = false;
-        AnyDead = true;
-        continue;
-      }
-      if (V.Finished)
-        continue;
-      V.Blocked = false;
-      if (stepProc(V, R))
-        Progress = true;
-      if (V.Crashed)
-        AnyDead = true;
-      if (!V.Finished)
-        AllDone = false;
-    }
-    if (AllDone) {
+    RoundFlags F = TE ? TE->runRound() : runRoundSequential();
+    if (F.AllDone) {
       R.Ok = true;
       break;
     }
@@ -947,21 +1342,22 @@ SimResult Simulator::run() {
     // once the interval elapsed). Never snapshot while a processor is
     // dead: its volatile state is gone, and the pre-crash line must
     // stay available for rollback.
-    if (Recovery && !AnyDead && Events >= NextCheckpointEvents) {
+    if (Recovery && !F.AnyDead && Events >= NextCheckpointEvents) {
       takeCheckpoint(R, /*Initial=*/false);
       continue;
     }
-    if (!Progress) {
+    if (!F.Progress) {
       // Machine stalled. With dead processors and a rollback line this
       // is the (abstracted) failure detection point: roll back and
       // replay. Anything else is terminal.
-      if (AnyDead && Recovery &&
+      if (F.AnyDead && Recovery &&
           R.Recovery.Rollbacks < Opts.Checkpoint.MaxRollbacks) {
         restoreCheckpoint(R);
         continue;
       }
       reportStall(R);
       fillRecoverySplit(R);
+      flushCounters(R);
       return R;
     }
   }
@@ -978,6 +1374,7 @@ SimResult Simulator::run() {
     R.Error = "unconsumed messages remain in the network (" +
               std::to_string(Leftover) + " copies)";
     fillRecoverySplit(R);
+    flushCounters(R);
     return R;
   }
   if (!Failures.empty()) {
@@ -991,6 +1388,7 @@ SimResult Simulator::run() {
               std::to_string(Failures.size()) +
               " packet(s) nobody was waiting for";
     fillRecoverySplit(R);
+    flushCounters(R);
     return R;
   }
   R.TotalEvents = Events;
@@ -999,6 +1397,7 @@ SimResult Simulator::run() {
     R.MakespanSeconds = std::max(R.MakespanSeconds, C);
   R.PhysBusy = PhysBusy;
   fillRecoverySplit(R);
+  flushCounters(R);
   return R;
 }
 
@@ -1044,11 +1443,11 @@ void Simulator::takeCheckpoint(SimResult &R, bool Initial) {
   CK->SendSeq = SendSeq;
   CK->RecvSeq = RecvSeq;
   CK->Failures = Failures;
-  CK->Messages = R.Messages;
-  CK->IntraMessages = R.IntraMessages;
-  CK->Words = R.Words;
-  CK->Flops = R.Flops;
-  CK->ComputeIterations = R.ComputeIterations;
+  CK->Messages = Ctr.Messages;
+  CK->IntraMessages = Ctr.IntraMessages;
+  CK->Words = Ctr.Words;
+  CK->Flops = Ctr.Flops;
+  CK->ComputeIterations = Ctr.ComputeIterations;
   CK->EventsAtTaken = Events;
   CK->WordsPerPhys = WordsPerPhys;
 
@@ -1089,7 +1488,8 @@ void Simulator::restoreCheckpoint(SimResult &R) {
   ++R.Recovery.Rollbacks;
   R.Recovery.ReplayedSteps += Events - ReplayBaseEvents;
   R.Recovery.ReplayedMessages +=
-      (R.Messages + R.IntraMessages) - (CK.Messages + CK.IntraMessages);
+      (Ctr.Messages + Ctr.IntraMessages) -
+      (CK.Messages + CK.IntraMessages);
 
   // Work done past the line is undone: move it into the recovery bucket
   // so Compute/Protocol/Checkpoint keep charging each useful unit once.
@@ -1104,11 +1504,11 @@ void Simulator::restoreCheckpoint(SimResult &R) {
   // Rewind the logical counters: a recovered run reports the same
   // logical traffic and arithmetic as a fault-free one. The wire-level
   // transport counters stay monotonic.
-  R.Messages = CK.Messages;
-  R.IntraMessages = CK.IntraMessages;
-  R.Words = CK.Words;
-  R.Flops = CK.Flops;
-  R.ComputeIterations = CK.ComputeIterations;
+  Ctr.Messages = CK.Messages;
+  Ctr.IntraMessages = CK.IntraMessages;
+  Ctr.Words = CK.Words;
+  Ctr.Flops = CK.Flops;
+  Ctr.ComputeIterations = CK.ComputeIterations;
   Failures = CK.Failures;
 
   // Reincarnate every processor from its snapshot. HasCrashed is NOT

@@ -39,6 +39,13 @@
 /// resent from before the rollback line (DESIGN.md §8). Results remain
 /// bit-exact under every recoverable crash schedule.
 ///
+/// SimOptions::Threads > 1 executes the physical processors on real OS
+/// threads (DESIGN.md §10): rounds become barrier-synchronized epochs,
+/// channels become mutex-guarded queues, and a wavefront rule
+/// reproduces the sequential engine's intra-round message visibility,
+/// so every result — values, costs, diagnostics, recovery telemetry —
+/// is bit-identical to the sequential engine for every seed.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DMCC_SIM_SIMULATOR_H
@@ -117,6 +124,40 @@ struct SimOptions {
   /// overhead, no recovery from crash-stop failures).
   CheckpointOptions Checkpoint;
   uint64_t MaxEvents = 6000000000ull; ///< runaway guard
+  /// Worker threads executing the physical processors (DESIGN.md §10).
+  /// 1 (the default) is the sequential engine, byte-for-byte today's
+  /// behavior; N > 1 runs physical processors on real OS threads
+  /// (clamped to the physical processor count) with results bit-identical
+  /// to the sequential engine for every program, cost model, fault and
+  /// crash schedule; 0 picks min(hardware concurrency, physical procs).
+  unsigned Threads = 1;
+};
+
+/// Logical counters accumulated during execution. The sequential engine
+/// bumps the run-wide instance directly; the threaded engine gives each
+/// worker a private instance and merges at the round barrier — integer
+/// sums commute, so the totals are bit-identical either way. The first
+/// group rewinds with a rollback (checkpoint state); the second group
+/// plus Crashes is monotonic wire-level/telemetry truth.
+struct SimCounters {
+  uint64_t Messages = 0, IntraMessages = 0, Words = 0, Flops = 0,
+           ComputeIterations = 0;
+  uint64_t Retransmissions = 0, DroppedPackets = 0,
+           DuplicatesSuppressed = 0, AcksSent = 0;
+  uint64_t Crashes = 0; ///< crash-stop kills (survive rollback)
+
+  void add(const SimCounters &O) {
+    Messages += O.Messages;
+    IntraMessages += O.IntraMessages;
+    Words += O.Words;
+    Flops += O.Flops;
+    ComputeIterations += O.ComputeIterations;
+    Retransmissions += O.Retransmissions;
+    DroppedPackets += O.DroppedPackets;
+    DuplicatesSuppressed += O.DuplicatesSuppressed;
+    AcksSent += O.AcksSent;
+    Crashes += O.Crashes;
+  }
 };
 
 /// One virtual processor stuck on a receive when the deadlock detector
@@ -250,14 +291,38 @@ private:
   struct VirtProc;
   struct Message;
   struct Checkpoint;
+  /// Per-slice execution context: counter sink, exact-events base for
+  /// the checkpoint gate, and the threaded engine's wavefront hooks.
+  struct StepCtx;
+  /// Worker pool, round barrier and wavefront synchronization for the
+  /// threaded engine (DESIGN.md §10).
+  struct ThreadEngine;
+  /// Merged outcome of one scheduler round.
+  struct RoundFlags {
+    bool Progress = false, AllDone = true, AnyDead = false;
+  };
 
   IntT flatIndex(unsigned ArrayId, const std::vector<IntT> &Idx) const;
   void computeVirtualGrid();
   void initLocalStores();
-  bool stepProc(VirtProc &V, SimResult &R);
+  bool stepProc(VirtProc &V, StepCtx &Ctx);
+  /// One cooperative round of the sequential engine: every live
+  /// processor runs one slice, in ascending processor order.
+  RoundFlags runRoundSequential();
   void execComputeIter(VirtProc &V, const SpmdStmt &St);
   double statementCost(const Statement &S) const;
   unsigned physOf(const std::vector<IntT> &VirtCoord) const;
+  /// Flat Procs index of a virtual-grid coordinate; false when the
+  /// coordinate lies outside the instantiated grid.
+  bool procIndexOf(const std::vector<IntT> &Coord, unsigned &Out) const;
+  /// Statements per processor per round (short when crashes or
+  /// checkpoints bound how stale a round boundary may be).
+  unsigned sliceBudget() const;
+  /// Worker threads the run will actually use (Opts.Threads clamped to
+  /// the physical processor count; 0 = hardware concurrency).
+  unsigned effectiveWorkers() const;
+  /// Copies the canonical counters into the result's fields.
+  void flushCounters(SimResult &R) const;
   void reportStall(SimResult &R) const;
   /// Coordinated checkpoint: snapshot all processor, queue, counter and
   /// transport state into the stable store, charging the cost model
@@ -278,6 +343,9 @@ private:
   FaultModel Faults;
 
   std::vector<IntT> VirtLo, VirtHi; ///< virtual grid extent per dim
+  /// Row-major strides of the virtual grid, for coordinate -> flat
+  /// Procs-index mapping (the construction odometer's order).
+  std::vector<IntT> VirtStride;
   std::vector<VirtProc> Procs;
   std::map<std::vector<IntT>, std::vector<Message>> Queues;
   /// Reliable transport: next sequence number per directed channel key
@@ -307,6 +375,9 @@ private:
   uint64_t ReplayBaseEvents = 0;
   std::vector<IntT> ParamEnv; ///< parameter values aligned to Spmd space
   uint64_t Events = 0;        ///< executed SPMD statements (budget guard)
+  /// Canonical logical counters (see SimCounters); flushCounters copies
+  /// them into the SimResult at every exit from run().
+  SimCounters Ctr;
 };
 
 } // namespace dmcc

@@ -11,11 +11,13 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 using namespace dmcc;
 
 namespace {
 
-/// Restores the process-wide options, caches and counters on scope exit
+/// Restores this thread's options, caches and counters on scope exit
 /// so tests cannot leak settings into each other.
 struct ProjectionSandbox {
   ProjectionSandbox() {
@@ -198,7 +200,7 @@ TEST(ProjectionStats, OrderHeuristicPreservesProjectionSemantics) {
   }
 }
 
-TEST(ProjectionStats, PhaseTimerAccumulatesInclusiveTime) {
+TEST(ProjectionStats, PhaseTimerAttributesExclusiveTime) {
   ProjectionSandbox Sandbox;
   resetPhaseProfiles();
   {
@@ -221,11 +223,83 @@ TEST(ProjectionStats, PhaseTimerAccumulatesInclusiveTime) {
   ASSERT_NE(Inner, nullptr);
   EXPECT_EQ(Outer->Invocations, 1u);
   EXPECT_EQ(Inner->Invocations, 1u);
-  EXPECT_EQ(Outer->Delta.FeasQueries, 2u) << "outer timer is inclusive";
+  // The inner phase's query is attributed to the inner row only; the
+  // rows partition the work instead of double-counting nested phases.
+  EXPECT_EQ(Outer->Delta.FeasQueries, 1u) << "outer row is exclusive";
   EXPECT_EQ(Inner->Delta.FeasQueries, 1u);
-  EXPECT_GE(Outer->Seconds, Inner->Seconds);
+  EXPECT_GE(Outer->Seconds, 0.0);
+  EXPECT_GE(Inner->Seconds, 0.0);
   resetPhaseProfiles();
   EXPECT_TRUE(phaseProfiles().empty());
+}
+
+TEST(ProjectionStats, SequentialSiblingsPartitionUnderOneParent) {
+  ProjectionSandbox Sandbox;
+  resetPhaseProfiles();
+  {
+    PhaseTimer Parent("test.parent");
+    {
+      PhaseTimer A("test.a");
+      EXPECT_EQ(boxSystem(0, 7).checkIntegerFeasible(),
+                Feasibility::Feasible);
+    }
+    {
+      PhaseTimer B("test.b");
+      EXPECT_EQ(boxSystem(0, 8).checkIntegerFeasible(),
+                Feasibility::Feasible);
+      EXPECT_EQ(boxSystem(0, 9).checkIntegerFeasible(),
+                Feasibility::Feasible);
+    }
+  }
+  uint64_t Total = 0;
+  for (const PhaseProfile &P : phaseProfiles())
+    Total += P.Delta.FeasQueries;
+  EXPECT_EQ(Total, projectionStats().FeasQueries)
+      << "phase rows must sum to the thread totals";
+  for (const PhaseProfile &P : phaseProfiles()) {
+    if (P.Name == "test.parent")
+      EXPECT_EQ(P.Delta.FeasQueries, 0u);
+    if (P.Name == "test.a")
+      EXPECT_EQ(P.Delta.FeasQueries, 1u);
+    if (P.Name == "test.b")
+      EXPECT_EQ(P.Delta.FeasQueries, 2u);
+  }
+  resetPhaseProfiles();
+}
+
+TEST(ProjectionStats, StateIsThreadLocal) {
+  ProjectionSandbox Sandbox;
+  projectionOptions().CacheCapacity = 4096; // distinctive main-thread value
+  System S = boxSystem(0, 10);
+  EXPECT_EQ(S.checkIntegerFeasible(), Feasibility::Feasible);
+  uint64_t MainQueries = projectionStats().FeasQueries;
+  std::size_t MainEntries = projectionCacheEntries();
+  EXPECT_GT(MainEntries, 0u);
+
+  unsigned PeerCapacity = 0;
+  uint64_t PeerQueries = 0;
+  std::size_t PeerEntriesBefore = 0, PeerEntriesAfter = 0;
+  std::thread Peer([&] {
+    // A fresh thread sees default options, zero counters, empty caches —
+    // and whatever it does there stays there.
+    PeerCapacity = projectionOptions().CacheCapacity;
+    PeerEntriesBefore = projectionCacheEntries();
+    for (IntT Hi = 1; Hi <= 5; ++Hi)
+      (void)boxSystem(0, Hi).checkIntegerFeasible();
+    PeerQueries = projectionStats().FeasQueries;
+    PeerEntriesAfter = projectionCacheEntries();
+  });
+  Peer.join();
+
+  EXPECT_EQ(PeerCapacity, ProjectionOptions().CacheCapacity)
+      << "main-thread option edits must not leak into other threads";
+  EXPECT_EQ(PeerEntriesBefore, 0u);
+  EXPECT_EQ(PeerQueries, 5u);
+  EXPECT_GT(PeerEntriesAfter, 0u);
+  EXPECT_EQ(projectionStats().FeasQueries, MainQueries)
+      << "peer-thread queries must not move main-thread counters";
+  EXPECT_EQ(projectionCacheEntries(), MainEntries)
+      << "peer-thread cache fills must not touch main-thread caches";
 }
 
 } // namespace

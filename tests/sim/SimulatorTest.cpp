@@ -7,9 +7,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "frontend/Parser.h"
+#include "ir/Interp.h"
 #include "sim/Simulator.h"
 
 #include <gtest/gtest.h>
+#include <optional>
 
 using namespace dmcc;
 
@@ -171,6 +173,69 @@ TEST(SimulatorTest, PerfAndFunctionalCountersAgreeOnLargerRun) {
   EXPECT_EQ(RF.Messages, RP.Messages);
   EXPECT_EQ(RF.Words, RP.Words);
   EXPECT_EQ(RF.ComputeIterations, RP.ComputeIterations);
+}
+
+TEST(SimulatorTest, FoldingBoundarySingleProcessorMatchesGold) {
+  // P = 1 folding boundary: pi(v) = v mod 1 puts every virtual proc on
+  // phys 0, so the whole schedule flows through the intra-physical
+  // queues. The folded functional run must still match the sequential
+  // interpreter exactly.
+  Program P = shift();
+  CompileSpec Spec = shiftSpec(P, 8);
+  CompiledProgram CP = compile(P, Spec);
+  std::map<std::string, IntT> Pv = {{"T", 2}, {"N", 63}};
+  Simulator Sim(P, CP, Spec, opts(1, Pv, true));
+  SimResult R = Sim.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  SeqInterpreter Gold(P, Pv);
+  Gold.run();
+  for (IntT I = 0; I <= 63; ++I) {
+    std::optional<double> V = Sim.finalValue(0, {I});
+    ASSERT_TRUE(V.has_value()) << "X[" << I << "] unowned";
+    EXPECT_EQ(*V, Gold.arrayValue(0, {I})) << "X[" << I << "]";
+  }
+}
+
+TEST(SimulatorTest, FoldingBoundaryMoreProcessorsThanVirtual) {
+  // P > numVirtual boundary: 37 physical processors for 8 virtual ones.
+  // pi(v) = v mod 37 is injective here, so the run must behave exactly
+  // like the saturated P = 8 machine plus 29 idle processors — same
+  // traffic, same correct answers, zero busy time on the idle ranks.
+  // (This is the regime where the virtual->physical index arithmetic
+  // used to be most at risk: phys indices beyond the virtual extent.)
+  Program P = shift();
+  CompileSpec Spec = shiftSpec(P, 8);
+  CompiledProgram CP = compile(P, Spec);
+  std::map<std::string, IntT> Pv = {{"T", 2}, {"N", 63}};
+
+  Simulator Wide(P, CP, Spec, opts(37, Pv, true));
+  SimResult RW = Wide.run();
+  ASSERT_TRUE(RW.Ok) << RW.Error;
+  SimResult R8 = Simulator(P, CP, Spec, opts(8, Pv, true)).run();
+  ASSERT_TRUE(R8.Ok) << R8.Error;
+
+  EXPECT_EQ(RW.Messages, R8.Messages);
+  EXPECT_EQ(RW.Words, R8.Words);
+  EXPECT_EQ(RW.ComputeIterations, R8.ComputeIterations);
+  EXPECT_EQ(RW.IntraMessages, 0u) << "injective folding leaves nothing "
+                                     "intra-physical";
+  ASSERT_EQ(RW.PhysBusy.size(), 37u);
+  for (unsigned I = 8; I < 37; ++I)
+    EXPECT_EQ(RW.PhysBusy[I], 0.0) << "idle phys " << I;
+
+  SeqInterpreter Gold(P, Pv);
+  Gold.run();
+  for (IntT I = 0; I <= 63; ++I) {
+    std::optional<double> V = Wide.finalValue(0, {I});
+    ASSERT_TRUE(V.has_value()) << "X[" << I << "] unowned";
+    EXPECT_EQ(*V, Gold.arrayValue(0, {I})) << "X[" << I << "]";
+  }
+
+  // Perf-mode cost accumulation survives the same boundary.
+  SimResult RP = Simulator(P, CP, Spec, opts(37, Pv, false)).run();
+  ASSERT_TRUE(RP.Ok) << RP.Error;
+  EXPECT_EQ(RP.Messages, RW.Messages);
+  EXPECT_EQ(RP.Words, RW.Words);
 }
 
 TEST(SimulatorTest, BusyTimeNeverExceedsMakespan) {

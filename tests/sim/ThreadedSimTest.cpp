@@ -1,0 +1,332 @@
+//===- tests/sim/ThreadedSimTest.cpp --------------------------*- C++ -*-===//
+//
+// Differential slice for the threaded simulator engine (DESIGN.md §10):
+// LU and the Jacobi stencil pipeline at --sim-threads in {1, 2, 8},
+// across clean, lossy-transport and crash/checkpoint schedules. Every
+// observable of the SimResult — array contents, cost totals, per-phys
+// busy time, transport counters, recovery telemetry, diagnostics — must
+// be bit-identical to the sequential engine.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "ir/Interp.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+#include <optional>
+
+using namespace dmcc;
+
+namespace {
+
+Program lu() {
+  return parseProgramOrDie(R"(
+param N;
+array X[N + 1][N + 1];
+for i1 = 0 to N {
+  for i2 = i1 + 1 to N {
+    X[i2][i1] = X[i2][i1] / X[i1][i1];
+    for i3 = i1 + 1 to N {
+      X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3];
+    }
+  }
+}
+)");
+}
+
+CompileSpec luSpec(const Program &P) {
+  CompileSpec Spec;
+  Decomposition D = cyclicData(P, 0, 0);
+  Spec.Stmts.push_back(StmtPlan{0, ownerComputes(P, 0, D)});
+  Spec.Stmts.push_back(StmtPlan{1, ownerComputes(P, 1, D)});
+  Spec.InitialData.emplace(0, D);
+  Spec.FinalData.emplace(0, D);
+  return Spec;
+}
+
+Program stencil() {
+  return parseProgramOrDie(R"(
+param T;
+param N;
+array X[N + 1];
+array Y[N + 1];
+for t = 0 to T {
+  for i = 1 to N - 1 {
+    Y[i] = X[i - 1] + X[i] + X[i + 1];
+  }
+  for i2 = 1 to N - 1 {
+    X[i2] = Y[i2];
+  }
+}
+)");
+}
+
+CompileSpec stencilSpec(const Program &P) {
+  // The Section 2.2.1 overlapped-border layout from the stencil
+  // pipeline example: replicated borders, produced values cross later.
+  CompileSpec Spec;
+  Spec.Stmts.push_back(StmtPlan{0, blockComputation(P, 0, 1, 16)});
+  Spec.Stmts.push_back(StmtPlan{1, blockComputation(P, 1, 1, 16)});
+  Spec.InitialData.emplace(0, blockData(P, 0, 0, 16, /*OverlapLo=*/1,
+                                        /*OverlapHi=*/1));
+  Spec.InitialData.emplace(1, blockData(P, 1, 0, 16));
+  Spec.FinalData.emplace(0, blockData(P, 0, 0, 16));
+  Spec.FinalData.emplace(1, blockData(P, 1, 0, 16));
+  return Spec;
+}
+
+SimOptions opts(IntT Procs, std::map<std::string, IntT> Params,
+                bool Functional, unsigned Threads,
+                FaultOptions Faults = {},
+                CheckpointOptions Checkpoint = {}) {
+  SimOptions SO;
+  SO.PhysGrid = {Procs};
+  SO.ParamValues = std::move(Params);
+  SO.Functional = Functional;
+  SO.CollapseLoops = !Functional;
+  SO.Faults = Faults;
+  SO.Checkpoint = Checkpoint;
+  SO.Threads = Threads;
+  return SO;
+}
+
+/// One simulation leg: the full result plus every element of array 0
+/// under the final layout (nullopt where nobody holds it).
+struct RunOut {
+  SimResult R;
+  std::vector<std::optional<double>> A0;
+};
+
+RunOut runLeg(const Program &P, const CompiledProgram &CP,
+              const CompileSpec &Spec, SimOptions SO,
+              const std::map<std::string, IntT> &Params) {
+  Simulator Sim(P, CP, Spec, std::move(SO));
+  RunOut O;
+  O.R = Sim.run();
+  std::vector<IntT> Env(P.space().size(), 0);
+  for (unsigned I = 0; I != P.space().size(); ++I)
+    if (P.space().kind(I) == VarKind::Param)
+      Env[I] = Params.at(P.space().name(I));
+  std::vector<IntT> Sizes;
+  for (const AffineExpr &D : P.array(0).DimSizes)
+    Sizes.push_back(D.evaluate(Env));
+  std::vector<IntT> Idx(Sizes.size(), 0);
+  bool Done = Sizes.empty();
+  while (!Done) {
+    O.A0.push_back(Sim.finalValue(0, Idx));
+    for (unsigned K = Idx.size(); K-- > 0;) {
+      if (++Idx[K] < Sizes[K])
+        break;
+      Idx[K] = 0;
+      if (K == 0)
+        Done = true;
+    }
+  }
+  return O;
+}
+
+/// Bit-identical comparison of two legs: exact double equality on every
+/// clock and cost, exact integer equality on every counter, identical
+/// diagnostics and array contents.
+void expectIdentical(const RunOut &A, const RunOut &B,
+                     const std::string &Tag) {
+  EXPECT_EQ(A.R.Ok, B.R.Ok) << Tag;
+  EXPECT_EQ(A.R.Error, B.R.Error) << Tag;
+  EXPECT_EQ(A.R.MakespanSeconds, B.R.MakespanSeconds) << Tag;
+  EXPECT_EQ(A.R.Messages, B.R.Messages) << Tag;
+  EXPECT_EQ(A.R.IntraMessages, B.R.IntraMessages) << Tag;
+  EXPECT_EQ(A.R.Words, B.R.Words) << Tag;
+  EXPECT_EQ(A.R.Flops, B.R.Flops) << Tag;
+  EXPECT_EQ(A.R.ComputeIterations, B.R.ComputeIterations) << Tag;
+  EXPECT_EQ(A.R.TotalEvents, B.R.TotalEvents) << Tag;
+  EXPECT_EQ(A.R.Retransmissions, B.R.Retransmissions) << Tag;
+  EXPECT_EQ(A.R.DroppedPackets, B.R.DroppedPackets) << Tag;
+  EXPECT_EQ(A.R.DuplicatesSuppressed, B.R.DuplicatesSuppressed) << Tag;
+  EXPECT_EQ(A.R.AcksSent, B.R.AcksSent) << Tag;
+  ASSERT_EQ(A.R.PhysBusy.size(), B.R.PhysBusy.size()) << Tag;
+  for (unsigned I = 0; I != A.R.PhysBusy.size(); ++I)
+    EXPECT_EQ(A.R.PhysBusy[I], B.R.PhysBusy[I]) << Tag << " phys " << I;
+  EXPECT_EQ(A.R.Recovery.CheckpointsTaken, B.R.Recovery.CheckpointsTaken)
+      << Tag;
+  EXPECT_EQ(A.R.Recovery.CheckpointBytes, B.R.Recovery.CheckpointBytes)
+      << Tag;
+  EXPECT_EQ(A.R.Recovery.Crashes, B.R.Recovery.Crashes) << Tag;
+  EXPECT_EQ(A.R.Recovery.Rollbacks, B.R.Recovery.Rollbacks) << Tag;
+  EXPECT_EQ(A.R.Recovery.ReplayedSteps, B.R.Recovery.ReplayedSteps)
+      << Tag;
+  EXPECT_EQ(A.R.Recovery.ReplayedMessages, B.R.Recovery.ReplayedMessages)
+      << Tag;
+  EXPECT_EQ(A.R.Recovery.ComputeSeconds, B.R.Recovery.ComputeSeconds)
+      << Tag;
+  EXPECT_EQ(A.R.Recovery.ProtocolSeconds, B.R.Recovery.ProtocolSeconds)
+      << Tag;
+  EXPECT_EQ(A.R.Recovery.CheckpointSeconds,
+            B.R.Recovery.CheckpointSeconds)
+      << Tag;
+  EXPECT_EQ(A.R.Recovery.RecoverySeconds, B.R.Recovery.RecoverySeconds)
+      << Tag;
+  ASSERT_EQ(A.A0.size(), B.A0.size()) << Tag;
+  unsigned Bad = 0;
+  for (unsigned I = 0; I != A.A0.size(); ++I)
+    if (A.A0[I] != B.A0[I])
+      ++Bad;
+  EXPECT_EQ(Bad, 0u) << Tag << ": array contents diverge";
+}
+
+} // namespace
+
+TEST(ThreadedSim, CleanFunctionalLUMatchesAcrossThreadCounts) {
+  Program P = lu();
+  CompileSpec Spec = luSpec(P);
+  CompiledProgram CP = compile(P, Spec);
+  std::map<std::string, IntT> Pv = {{"N", 48}};
+  RunOut Base = runLeg(P, CP, Spec, opts(8, Pv, true, 1), Pv);
+  ASSERT_TRUE(Base.R.Ok) << Base.R.Error;
+  // The sequential leg itself is gold-verified, so cross-engine
+  // equality below implies every threaded leg is correct too.
+  SeqInterpreter Gold(P, Pv);
+  Gold.run();
+  unsigned Bad = 0, K = 0;
+  for (IntT I = 0; I <= 48; ++I)
+    for (IntT J = 0; J <= 48; ++J, ++K)
+      if (!Base.A0[K] || *Base.A0[K] != Gold.arrayValue(0, {I, J}))
+        ++Bad;
+  ASSERT_EQ(Bad, 0u);
+  for (unsigned T : {2u, 8u}) {
+    RunOut Leg = runLeg(P, CP, Spec, opts(8, Pv, true, T), Pv);
+    expectIdentical(Base, Leg, "lu threads=" + std::to_string(T));
+  }
+}
+
+TEST(ThreadedSim, CleanFunctionalStencilMatchesAcrossThreadCounts) {
+  Program P = stencil();
+  CompileSpec Spec = stencilSpec(P);
+  CompiledProgram CP = compile(P, Spec);
+  std::map<std::string, IntT> Pv = {{"T", 5}, {"N", 63}};
+  RunOut Base = runLeg(P, CP, Spec, opts(4, Pv, true, 1), Pv);
+  ASSERT_TRUE(Base.R.Ok) << Base.R.Error;
+  for (unsigned T : {2u, 8u}) { // 8 clamps to the 4 physical processors
+    RunOut Leg = runLeg(P, CP, Spec, opts(4, Pv, true, T), Pv);
+    expectIdentical(Base, Leg, "stencil threads=" + std::to_string(T));
+  }
+}
+
+TEST(ThreadedSim, PerformanceModeCostsMatchAcrossThreadCounts) {
+  // Performance mode collapses loops into closed-form costs; the
+  // threaded engine must reproduce the clocks and counters exactly.
+  Program P = lu();
+  CompileSpec Spec = luSpec(P);
+  CompiledProgram CP = compile(P, Spec);
+  std::map<std::string, IntT> Pv = {{"N", 96}};
+  RunOut Base = runLeg(P, CP, Spec, opts(8, Pv, false, 1), Pv);
+  ASSERT_TRUE(Base.R.Ok) << Base.R.Error;
+  for (unsigned T : {2u, 8u}) {
+    RunOut Leg = runLeg(P, CP, Spec, opts(8, Pv, false, T), Pv);
+    expectIdentical(Base, Leg, "lu-perf threads=" + std::to_string(T));
+  }
+}
+
+TEST(ThreadedSim, LossyTransportMatchesAcrossThreadCountsAndSeeds) {
+  Program P = lu();
+  CompileSpec Spec = luSpec(P);
+  CompiledProgram CP = compile(P, Spec);
+  std::map<std::string, IntT> Pv = {{"N", 32}};
+  for (uint64_t Seed : {1u, 2u, 3u}) {
+    FaultOptions F;
+    F.Seed = Seed;
+    F.DropRate = 0.05;
+    F.DupRate = 0.05;
+    F.MaxDelaySeconds = 2e-4;
+    F.MaxSlowdown = 1.5; // exercise the per-processor slow factors too
+    RunOut Base = runLeg(P, CP, Spec, opts(4, Pv, true, 1, F), Pv);
+    ASSERT_TRUE(Base.R.Ok) << "seed " << Seed << ": " << Base.R.Error;
+    ASSERT_GT(Base.R.Retransmissions + Base.R.DuplicatesSuppressed, 0u)
+        << "seed " << Seed << " exercised no transport machinery";
+    for (unsigned T : {2u, 8u}) {
+      RunOut Leg = runLeg(P, CP, Spec, opts(4, Pv, true, T, F), Pv);
+      expectIdentical(Base, Leg,
+                      "lu-fault seed=" + std::to_string(Seed) +
+                          " threads=" + std::to_string(T));
+    }
+  }
+}
+
+TEST(ThreadedSim, LossyTransportStencilMatchesAcrossThreadCounts) {
+  Program P = stencil();
+  CompileSpec Spec = stencilSpec(P);
+  CompiledProgram CP = compile(P, Spec);
+  std::map<std::string, IntT> Pv = {{"T", 5}, {"N", 63}};
+  FaultOptions F;
+  F.Seed = 9;
+  F.DropRate = 0.08;
+  F.DupRate = 0.04;
+  F.MaxDelaySeconds = 1e-4;
+  RunOut Base = runLeg(P, CP, Spec, opts(4, Pv, true, 1, F), Pv);
+  ASSERT_TRUE(Base.R.Ok) << Base.R.Error;
+  for (unsigned T : {2u, 8u}) {
+    RunOut Leg = runLeg(P, CP, Spec, opts(4, Pv, true, T, F), Pv);
+    expectIdentical(Base, Leg,
+                    "stencil-fault threads=" + std::to_string(T));
+  }
+}
+
+TEST(ThreadedSim, CrashRecoveryMatchesAcrossThreadCountsAndSeeds) {
+  // Crash + coordinated checkpoint/rollback: the serialized
+  // checkpoint-imminent rounds must draw every line at exactly the
+  // sequential statement, so the full recovery telemetry agrees.
+  Program P = lu();
+  CompileSpec Spec = luSpec(P);
+  CompiledProgram CP = compile(P, Spec);
+  std::map<std::string, IntT> Pv = {{"N", 64}};
+  for (uint64_t CrashSeed : {11u, 22u}) {
+    FaultOptions F;
+    F.CrashRate = 4e-5;
+    F.CrashSeed = CrashSeed;
+    CheckpointOptions CK;
+    CK.IntervalSteps = 40000;
+    RunOut Base = runLeg(P, CP, Spec, opts(4, Pv, true, 1, F, CK), Pv);
+    ASSERT_TRUE(Base.R.Ok) << "seed " << CrashSeed << ": "
+                           << Base.R.Error;
+    ASSERT_GE(Base.R.Recovery.Crashes, 1u) << "seed " << CrashSeed;
+    ASSERT_GE(Base.R.Recovery.Rollbacks, 1u) << "seed " << CrashSeed;
+    for (unsigned T : {2u, 8u}) {
+      RunOut Leg = runLeg(P, CP, Spec, opts(4, Pv, true, T, F, CK), Pv);
+      expectIdentical(Base, Leg,
+                      "lu-crash seed=" + std::to_string(CrashSeed) +
+                          " threads=" + std::to_string(T));
+    }
+  }
+}
+
+TEST(ThreadedSim, UnrecoverableCrashDiagnosticsMatchAcrossThreads) {
+  // No checkpointing: the first crash is terminal and the run ends in a
+  // structured diagnostic. The rendered report (dead processors, stuck
+  // receivers, buffered-ahead counts) must be identical.
+  Program P = stencil();
+  CompileSpec Spec = stencilSpec(P);
+  CompiledProgram CP = compile(P, Spec);
+  std::map<std::string, IntT> Pv = {{"T", 5}, {"N", 63}};
+  FaultOptions F;
+  F.CrashRate = 2e-3;
+  F.CrashSeed = 5;
+  RunOut Base = runLeg(P, CP, Spec, opts(4, Pv, true, 1, F), Pv);
+  ASSERT_FALSE(Base.R.Ok);
+  ASSERT_GE(Base.R.Recovery.Crashes, 1u);
+  for (unsigned T : {2u, 8u}) {
+    RunOut Leg = runLeg(P, CP, Spec, opts(4, Pv, true, T, F), Pv);
+    expectIdentical(Base, Leg,
+                    "stencil-dead threads=" + std::to_string(T));
+  }
+}
+
+TEST(ThreadedSim, ZeroThreadsPicksHardwareConcurrency) {
+  Program P = stencil();
+  CompileSpec Spec = stencilSpec(P);
+  CompiledProgram CP = compile(P, Spec);
+  std::map<std::string, IntT> Pv = {{"T", 3}, {"N", 63}};
+  RunOut Base = runLeg(P, CP, Spec, opts(4, Pv, true, 1), Pv);
+  ASSERT_TRUE(Base.R.Ok) << Base.R.Error;
+  RunOut Auto = runLeg(P, CP, Spec, opts(4, Pv, true, 0), Pv);
+  expectIdentical(Base, Auto, "stencil threads=auto");
+}

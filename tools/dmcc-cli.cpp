@@ -10,6 +10,10 @@
 //     --print-comm           optimized communication sets
 //     --print-spmd           the generated SPMD program (default)
 //     --simulate P           run on P simulated processors
+//     --sim-threads N        run the simulated physical processors on N
+//                            OS threads (0 = hardware concurrency;
+//                            default 1 = sequential engine); results are
+//                            bit-identical at every thread count
 //     --functional           simulate with real arithmetic and verify
 //                            against sequential execution
 //     --param NAME=VALUE     parameter binding (repeatable; defaults
@@ -100,7 +104,8 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s FILE [--print-program] [--print-lwt] "
                "[--print-comm] [--print-spmd]\n"
-               "       [--simulate P] [--functional] [--param N=V]...\n"
+               "       [--simulate P] [--sim-threads N] [--functional] "
+               "[--param N=V]...\n"
                "       [--no-self-reuse] [--no-group-reuse] "
                "[--no-multicast] [--no-aggressive]\n"
                "       [--stats] [--node-budget N] [--no-proj-cache] "
@@ -124,6 +129,7 @@ int main(int Argc, char **Argv) {
   bool PrintProgram = false, PrintLWT = false, PrintComm = false;
   bool PrintSpmd = false, Functional = false, PrintStats = false;
   IntT SimProcs = 0;
+  unsigned SimThreads = 1;
   CompilerOptions Opts;
   FaultOptions Faults;
   CheckpointOptions Checkpoint;
@@ -167,6 +173,8 @@ int main(int Argc, char **Argv) {
     }
     else if (std::strcmp(A, "--simulate") == 0 && I + 1 < Argc)
       SimProcs = std::atoll(Argv[++I]);
+    else if (std::strcmp(A, "--sim-threads") == 0 && I + 1 < Argc)
+      SimThreads = static_cast<unsigned>(std::atoll(Argv[++I]));
     else if (std::strcmp(A, "--fault-seed") == 0 && I + 1 < Argc)
       Faults.Seed = std::strtoull(Argv[++I], nullptr, 10);
     else if (std::strcmp(A, "--drop-rate") == 0 && I + 1 < Argc)
@@ -284,6 +292,7 @@ int main(int Argc, char **Argv) {
     SO.CollapseLoops = !Functional;
     SO.Faults = Faults;
     SO.Checkpoint = Checkpoint;
+    SO.Threads = SimThreads;
     Simulator Sim(P, CP, SP.Spec, SO);
     SimResult R = Sim.run();
     if (!R.Ok) {
