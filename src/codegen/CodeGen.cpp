@@ -306,6 +306,7 @@ std::vector<SpmdStmt> dmcc::genSendFragment(SpmdSpace &SS,
     Sd.Peer = Peer;
     Sd.CommId = CommId;
     Sd.IsMulticast = Multicast;
+    Sd.Nonblocking = CP.earlySend();
     Sd.Body = Pack;
     std::vector<SpmdStmt> B;
     B.push_back(std::move(Sd));
@@ -440,6 +441,25 @@ bool dmcc::aggregationSafe(const Program &P, const CommSet &CS,
     }
   }
   return true;
+}
+
+bool dmcc::earlySendSafe(const Program &P, const CommSet &CS,
+                         unsigned Level) {
+  // Initial data exists before any statement runs: issuing its sends
+  // asynchronously can never outrun a producer.
+  if (CS.FromInitialData)
+    return Level == 0;
+  // A batch at this level holds exactly the writer's iterations sharing
+  // the level-long prefix, so right after the writer's fragment the
+  // content is complete by construction. What remains to verify is the
+  // level reasoning itself: per-message single-valued receiver prefix
+  // (alignment), no consumption at a shared iteration preceding the
+  // send (ordering), and FIFO-consistent arrival order (monotonicity).
+  // These are exactly the aggregationSafe() probes at the issue level;
+  // when chooseAggLevel() fell back to runtime FIFO order without a
+  // verified level, the probes fail here too and the send stays
+  // blocking.
+  return aggregationSafe(P, CS, Level);
 }
 
 bool dmcc::computeLocalBox(SpmdSpace &SS, const StmtPlan &SP,

@@ -50,6 +50,19 @@ struct CommPlan {
   /// AggLevel == k is always deadlock-free (see aggregationSafe()).
   unsigned AggLevel = 0;
   bool Multicast = false;
+  /// Early-send plan (paper Section 6, DESIGN.md §11). EarlyLevel is
+  /// the earliest loop level at which the send fragment may be issued
+  /// — equal to AggLevel when earlySendSafe() holds (the batch content
+  /// is complete as soon as the producing statement's fragment at that
+  /// depth has run), or the NoEarly sentinel when the send must stay
+  /// blocking at its default position. HoistEarly additionally moves
+  /// the fragment to immediately after the producer inside a
+  /// distributed subtree; it is set only when no later statement of
+  /// the subtree can overwrite the communicated array.
+  static constexpr unsigned NoEarly = ~0u;
+  unsigned EarlyLevel = NoEarly;
+  bool HoistEarly = false;
+  bool earlySend() const { return EarlyLevel != NoEarly; }
 };
 
 /// Manages the single variable space of a generated SPMD program.
@@ -101,6 +114,20 @@ SpmdStmt makeSharedLoop(SpmdSpace &SS, unsigned LoopId);
 /// production follows another item's consumption within one message.
 bool aggregationSafe(const Program &P, const CommSet &CS,
                      unsigned AggLevel);
+
+/// Early-send safety (paper Section 6, DESIGN.md §11): true if the
+/// set's sends may be issued nonblocking at loop level \p Level — the
+/// sender continues computing while the message is in flight. Reuses
+/// the aggregationSafe() level reasoning: the batch for a level-Level
+/// prefix contains exactly the items the writer produced at iterations
+/// sharing that prefix, so its content is complete the moment the
+/// writer's fragment at that depth has run (the LWT guarantees no
+/// later statement rewrites a communicated element before its read),
+/// and the alignment/ordering/monotonicity probes rule out a consumer
+/// stalling behind its producer or FIFO-order mismatch once issue is
+/// decoupled from completion. Initial-data sets are safe at level 0:
+/// their content exists before the program runs.
+bool earlySendSafe(const Program &P, const CommSet &CS, unsigned Level);
 
 /// Section 5.5: the local bounding box of array data that one processor
 /// touches through the given access: per-dimension bounds over

@@ -128,8 +128,12 @@ void printStmt(const SpmdStmt &St, const Space &Sp, unsigned Indent,
     return;
   }
   case SpmdStmt::Kind::Send: {
-    Out += Pad + (St.IsMulticast ? "multicast" : "send") + std::string(
-               " message[c") +
+    // Early (nonblocking) sends print with an "i" prefix, MPI-style:
+    // isend issues and continues, the plain form blocks for the wire.
+    const char *Verb = St.IsMulticast
+                           ? (St.Nonblocking ? "imulticast" : "multicast")
+                           : (St.Nonblocking ? "isend" : "send");
+    Out += Pad + Verb + std::string(" message[c") +
            std::to_string(St.CommId) + "] to " + peerStr(St.Peer, Sp) +
            " packed as {\n";
     for (const SpmdStmt &C : St.Body)

@@ -64,6 +64,13 @@ struct SpmdStmt {
   std::vector<AffineExpr> Peer; ///< grid coordinate of the peer
   unsigned CommId = 0;          ///< communication-set identifier (tag)
   bool IsMulticast = false;     ///< send once, delivered to all receivers
+  /// Early send (paper Section 6, DESIGN.md §11): the sender may issue
+  /// this message asynchronously and keep computing while it is in
+  /// flight. Set only on Send statements whose communication set passed
+  /// the early-send safety analysis; the simulator honors it when
+  /// SimOptions::EarlySends is on. Never changes message contents or
+  /// delivery order — only when the sender's clock advances.
+  bool Nonblocking = false;
 
   // PackElem / UnpackElem.
   unsigned ArrayId = 0;

@@ -181,8 +181,26 @@ private:
         } else {
           std::vector<unsigned> Inner;
           collectStmtsOrdered(Child, Inner);
-          for (unsigned S : Inner)
+          for (unsigned S : Inner) {
             append(Out, genComputeFragment(SS, planOf(S), Depth));
+            // Early-send hoist (Section 6, DESIGN.md §11): a batch
+            // whose content is complete once this statement's fragment
+            // has run is issued here, ahead of the sibling fragments,
+            // instead of after the whole subtree. HoistEarly guarantees
+            // none of those siblings writes the communicated array, so
+            // the packed values are the ones the blocking placement
+            // would pack.
+            for (Placed &Pl : Comms) {
+              if (Pl.IsFinal || Pl.SendEmitted ||
+                  Pl.Plan.AggLevel != Depth || !Pl.Plan.HoistEarly)
+                continue;
+              if (Pl.Plan.Set.FromInitialData ||
+                  Pl.Plan.Set.WriteStmtId != S)
+                continue;
+              append(Out, genSendFragment(SS, Pl.Plan, Pl.CommId));
+              Pl.SendEmitted = true;
+            }
+          }
         }
       }
 
@@ -346,6 +364,48 @@ CompiledProgram dmcc::compile(const Program &P, const CompileSpec &Spec,
           Pl.IsFinal = true;
           Comms.push_back(std::move(Pl));
         }
+      }
+    }
+  }
+
+  // Early sends (Section 6, DESIGN.md §11): decide per set whether its
+  // sends may issue nonblocking, and whether the fragment may also be
+  // hoisted to right after its producer. Hoisting moves the pack across
+  // the sibling fragments that follow the writer inside its subtree, so
+  // it additionally requires that none of them writes the communicated
+  // array there (a conservative, syntactic stand-in for the LWT's
+  // element-level guarantee) and that every data-flow tree was exact.
+  if (Opts.EarlySends) {
+    auto HoistSafe = [&](const CommSet &CS, unsigned Level) {
+      for (unsigned S = 0, E = P.numStatements(); S != E; ++S) {
+        if (S == CS.WriteStmtId ||
+            P.statement(S).Write.ArrayId != CS.ArrayId)
+          continue;
+        if (P.commonLoopDepth(S, CS.WriteStmtId) <= Level)
+          continue; // outside the batch subtree: the hoist never
+                    // crosses it
+        if (P.precedesTextually(CS.WriteStmtId, S))
+          return false;
+      }
+      return true;
+    };
+    for (Placed &Pl : Comms) {
+      CommPlan &Plan = Pl.Plan;
+      if (Pl.IsFinal) {
+        // Finalization sets run after every write of the program:
+        // trivially complete, always safe to issue asynchronously.
+        Plan.EarlyLevel = 0;
+        ++Out.Stats.NumEarlySends;
+        continue;
+      }
+      if (!earlySendSafe(P, Plan.Set, Plan.AggLevel))
+        continue;
+      Plan.EarlyLevel = Plan.AggLevel;
+      ++Out.Stats.NumEarlySends;
+      if (!Plan.Set.FromInitialData && Out.Stats.AllExact &&
+          HoistSafe(Plan.Set, Plan.AggLevel)) {
+        Plan.HoistEarly = true;
+        ++Out.Stats.NumEarlyHoisted;
       }
     }
   }

@@ -57,6 +57,14 @@ struct CompilerOptions {
   /// Section 5.4: statically split merged loops at guard breakpoints so
   /// iteration ranges run guard-free.
   bool SplitLoops = true;
+  /// Section 6 "early sends" (DESIGN.md §11): mark sends whose
+  /// communication set passes earlySendSafe() as nonblocking so the
+  /// simulator overlaps message latency with the sender's remaining
+  /// computation, and hoist a send fragment to immediately after its
+  /// producing statement inside a distributed subtree when no later
+  /// statement there can overwrite the communicated array. Array
+  /// results are bit-identical with this on or off.
+  bool EarlySends = false;
 };
 
 /// Everything the compiler derived, for reporting and benchmarks.
@@ -72,6 +80,10 @@ struct CompileStats {
   unsigned NumCommChannels = 0;
   unsigned LoopsSplit = 0;
   unsigned GuardsEliminated = 0;
+  /// Communication plans marked nonblocking by the early-send analysis,
+  /// and the subset additionally hoisted to right after their producer.
+  unsigned NumEarlySends = 0;
+  unsigned NumEarlyHoisted = 0;
   bool AllExact = true;
   double CompileSeconds = 0;
   /// Polyhedral-core counters accumulated over this compile only

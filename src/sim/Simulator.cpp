@@ -452,6 +452,9 @@ Simulator::Simulator(const Program &P, const CompiledProgram &CP,
   BusyCompute.assign(PhysCount, 0.0);
   BusyProtocol.assign(PhysCount, 0.0);
   BusyCheckpoint.assign(PhysCount, 0.0);
+  NetFree.assign(PhysCount, 0.0);
+  NetDeferred.assign(PhysCount, 0.0);
+  NetExposed.assign(PhysCount, 0.0);
   HasCrashed.assign(Procs.size(), 0);
   SlowFactor.assign(PhysCount, 1.0);
   if (this->Opts.Faults.MaxSlowdown > 1.0)
@@ -525,6 +528,17 @@ void Simulator::flushCounters(SimResult &R) const {
   R.DuplicatesSuppressed = Ctr.DuplicatesSuppressed;
   R.AcksSent = Ctr.AcksSent;
   R.Recovery.Crashes = Ctr.Crashes;
+  fillOverlap(R);
+}
+
+void Simulator::fillOverlap(SimResult &R) const {
+  R.Overlap.EarlySends = Ctr.EarlySends;
+  R.Overlap.DeferredSeconds = 0;
+  R.Overlap.ExposedSeconds = 0;
+  for (unsigned Ph = 0, E = PhysClock.size(); Ph != E; ++Ph) {
+    R.Overlap.DeferredSeconds += NetDeferred[Ph];
+    R.Overlap.ExposedSeconds += NetExposed[Ph];
+  }
 }
 
 void Simulator::computeVirtualGrid() {
@@ -1002,6 +1016,12 @@ bool Simulator::stepProc(VirtProc &V, StepCtx &Ctx) {
                      V.LastMulticastComm == static_cast<int>(St.CommId);
       if (!InBurst)
         V.BurstPhys.clear();
+      // Nonblocking (early) send: the CPU pays only the issue/pack
+      // cost, the per-physical NIC carries the fixed latency (and any
+      // retransmission work) while the processor keeps computing
+      // (DESIGN.md §11). Message contents, sequence numbers and queue
+      // order are untouched — only clocks move.
+      const bool Early = Opts.EarlySends && St.Nonblocking;
       M.FromMulticast = St.IsMulticast;
       // Tag for the threaded engine's visibility rule; the sequential
       // engine never reads these.
@@ -1048,10 +1068,25 @@ bool Simulator::stepProc(VirtProc &V, StepCtx &Ctx) {
         // suppressed on arrival, never enqueued. Impossible outside
         // replay — a fresh sequence number is never below the window.
         const bool BelowWindow = Seq < RecvSeq[Key];
-        double Start = Clock;
         double SendCost =
             (Opts.Cost.MsgLatency + M.WordCount * Opts.Cost.SendPerWord) *
             SF;
+        double IssueCost =
+            (Opts.Cost.SendIssueOverhead +
+             M.WordCount * Opts.Cost.SendPerWord) *
+            SF;
+        double Start;
+        if (Early) {
+          // Issue: the CPU hands the packet to the NIC and moves on;
+          // the stop-and-wait attempts below run on the NIC, which
+          // serializes this physical processor's in-flight sends.
+          Clock += IssueCost;
+          Busy += IssueCost;
+          BusyProtocol[V.Phys] += IssueCost;
+          Start = std::max(Clock, NetFree[V.Phys]);
+        } else {
+          Start = Clock;
+        }
         double DeliverLat =
             Opts.Cost.MsgLatency +
             static_cast<double>(M.WordCount) * Opts.Cost.WireTimePerWord;
@@ -1096,9 +1131,19 @@ bool Simulator::stepProc(VirtProc &V, StepCtx &Ctx) {
         // overhead shows up in Retransmissions and the clocks.
         ++Ctx.C.Messages;
         Ctx.C.Words += M.WordCount;
-        Clock += SendCost;
-        Busy += SendCost * Made;
-        BusyProtocol[V.Phys] += SendCost * Made;
+        if (Early) {
+          // The NIC is busy through every attempt's backoff plus the
+          // final transmission; the CPU already paid IssueCost and
+          // keeps computing. Only the not-also-on-CPU share counts as
+          // deferred.
+          NetFree[V.Phys] = Start + Offset + SendCost;
+          NetDeferred[V.Phys] += SendCost - IssueCost;
+          ++Ctx.C.EarlySends;
+        } else {
+          Clock += SendCost;
+          Busy += SendCost * Made;
+          BusyProtocol[V.Phys] += SendCost * Made;
+        }
         if (!Delivered)
           Ctx.Failures.push_back(
               TransportFailure{St.CommId, V.Coord, Dst, Seq, Made});
@@ -1110,19 +1155,45 @@ bool Simulator::stepProc(VirtProc &V, StepCtx &Ctx) {
         auto CG = ChanGuard();
         Queues[Key].push_back(std::move(M));
       } else {
+        const bool ExtraDest = InBurst && !V.BurstPhys.empty();
         double C;
-        if (InBurst && !V.BurstPhys.empty())
+        if (ExtraDest)
           C = Opts.Cost.MulticastExtraDest;
         else
           C = Opts.Cost.MsgLatency + M.WordCount * Opts.Cost.SendPerWord;
-        Clock += C;
-        Busy += C;
-        BusyProtocol[V.Phys] += C;
         ++Ctx.C.Messages;
         Ctx.C.Words += M.WordCount;
-        M.ReadyTime =
-            Clock + Opts.Cost.MsgLatency +
-            static_cast<double>(M.WordCount) * Opts.Cost.WireTimePerWord;
+        if (Early) {
+          // The CPU pays only the pack + issue overhead; the fixed
+          // per-message latency runs on the NIC, which serializes this
+          // physical processor's outstanding sends. The NIC cuts
+          // through — protocol processing pipelines into the flight —
+          // so the consumer-visible path carries one MsgLatency where
+          // the blocking rendezvous pays it twice (sender software,
+          // then wire).
+          double CpuC =
+              Opts.Cost.SendIssueOverhead +
+              (ExtraDest ? 0.0 : M.WordCount * Opts.Cost.SendPerWord);
+          double NicC = ExtraDest ? Opts.Cost.MulticastExtraDest
+                                  : Opts.Cost.MsgLatency;
+          Clock += CpuC;
+          Busy += CpuC;
+          BusyProtocol[V.Phys] += CpuC;
+          double Done = std::max(Clock, NetFree[V.Phys]) + NicC;
+          NetFree[V.Phys] = Done;
+          NetDeferred[V.Phys] += C - CpuC;
+          ++Ctx.C.EarlySends;
+          M.ReadyTime =
+              Done +
+              static_cast<double>(M.WordCount) * Opts.Cost.WireTimePerWord;
+        } else {
+          Clock += C;
+          Busy += C;
+          BusyProtocol[V.Phys] += C;
+          M.ReadyTime =
+              Clock + Opts.Cost.MsgLatency +
+              static_cast<double>(M.WordCount) * Opts.Cost.WireTimePerWord;
+        }
         V.BurstPhys.insert(DstPhys);
         V.BurstReady = M.ReadyTime;
         auto CG = ChanGuard();
@@ -1392,6 +1463,16 @@ SimResult Simulator::run() {
     return R;
   }
   R.TotalEvents = Events;
+  // Drain the NICs: a processor whose network interface is still
+  // pushing out an early send is finished computing but not done — the
+  // remaining occupancy is exposed (un-overlapped) latency and counts
+  // toward the makespan, though not toward busy time.
+  for (unsigned Ph = 0, E2 = static_cast<unsigned>(PhysClock.size());
+       Ph != E2; ++Ph)
+    if (NetFree[Ph] > PhysClock[Ph]) {
+      NetExposed[Ph] += NetFree[Ph] - PhysClock[Ph];
+      PhysClock[Ph] = NetFree[Ph];
+    }
   R.MakespanSeconds = 0;
   for (double C : PhysClock)
     R.MakespanSeconds = std::max(R.MakespanSeconds, C);

@@ -74,6 +74,15 @@ struct CostModel {
   double RecvPerWord = 0.35e-6;   ///< per word copy at the receiver
   double WireTimePerWord = 1.4e-6;///< link occupancy per word
   double MulticastExtraDest = 10e-6; ///< extra per additional destination
+  /// CPU-side cost to post a nonblocking (early) send: the descriptor
+  /// write that hands the message to the NIC. The per-word pack copy is
+  /// still charged to the CPU; the fixed MsgLatency (and, under the
+  /// reliable transport, the retransmission work) moves to the NIC and
+  /// overlaps the sender's remaining computation. On the fault-free
+  /// path the NIC cuts through: protocol processing pipelines into the
+  /// flight, so consumers see a single MsgLatency instead of the
+  /// blocking rendezvous' two (DESIGN.md §11).
+  double SendIssueOverhead = 5e-6;
 };
 
 /// Coordinated checkpoint/restart configuration (DESIGN.md §8). With
@@ -116,6 +125,15 @@ struct SimOptions {
   /// Do not charge network costs for messages between virtual processors
   /// folded onto the same physical processor (Section 6.1.3).
   bool FreeIntraPhysical = true;
+  /// Honor nonblocking marks on Send statements (paper Section 6 "early
+  /// sends", DESIGN.md §11): the sender pays only the issue/pack cost,
+  /// a per-physical NIC serializes the message out while the processor
+  /// keeps computing, and only non-overlapped latency reaches the
+  /// makespan (a processor is not finished until its NIC drains). Off
+  /// forces every send back to blocking semantics regardless of
+  /// compiler marks. Array results are bit-identical either way — only
+  /// clocks move.
+  bool EarlySends = true;
   CostModel Cost;
   /// Fault injection and reliable transport; defaults to a perfect
   /// network with the transport bypassed (zero overhead).
@@ -145,6 +163,9 @@ struct SimCounters {
   uint64_t Retransmissions = 0, DroppedPackets = 0,
            DuplicatesSuppressed = 0, AcksSent = 0;
   uint64_t Crashes = 0; ///< crash-stop kills (survive rollback)
+  /// Nonblocking sends issued. Monotonic wire-level telemetry like
+  /// Retransmissions: replayed issues after a rollback count again.
+  uint64_t EarlySends = 0;
 
   void add(const SimCounters &O) {
     Messages += O.Messages;
@@ -157,6 +178,7 @@ struct SimCounters {
     DuplicatesSuppressed += O.DuplicatesSuppressed;
     AcksSent += O.AcksSent;
     Crashes += O.Crashes;
+    EarlySends += O.EarlySends;
   }
 };
 
@@ -234,6 +256,25 @@ struct RecoveryStats {
   double RecoverySeconds = 0;
 };
 
+/// Communication/computation overlap telemetry for nonblocking (early)
+/// sends, aggregated over the run's messages (DESIGN.md §11). All zero
+/// when the program carries no nonblocking marks or
+/// SimOptions::EarlySends is off. Per-message accounting: each issue
+/// adds its share to DeferredSeconds; what the end-of-run NIC drains
+/// add back to the clocks lands in ExposedSeconds. Monotonic across
+/// rollbacks, like the wire-level transport counters.
+struct OverlapStats {
+  uint64_t EarlySends = 0;  ///< nonblocking sends issued
+  /// Latency taken off the issuing CPU's clock: the blocking charge
+  /// minus the nonblocking issue charge, summed per message.
+  double DeferredSeconds = 0;
+  /// Deferred latency that resurfaced: NIC backlog a processor had to
+  /// drain before the run could finish (non-overlapped remainder).
+  double ExposedSeconds = 0;
+  /// Latency actually hidden behind the sender's computation.
+  double hiddenSeconds() const { return DeferredSeconds - ExposedSeconds; }
+};
+
 /// Aggregate outcome of a simulation.
 struct SimResult {
   bool Ok = false;
@@ -262,6 +303,9 @@ struct SimResult {
 
   /// Crash/checkpoint/restart telemetry.
   RecoveryStats Recovery;
+
+  /// Early-send overlap telemetry.
+  OverlapStats Overlap;
 };
 
 /// The machine simulator.
@@ -335,6 +379,10 @@ private:
   void restoreCheckpoint(SimResult &R);
   /// Sum the per-physical busy buckets into the result's telemetry.
   void fillRecoverySplit(SimResult &R) const;
+  /// Sum the per-physical overlap buckets into the result's telemetry
+  /// (fixed physical order, so totals are bit-identical across worker
+  /// counts).
+  void fillOverlap(SimResult &R) const;
 
   const Program &P;
   const CompiledProgram &CP;
@@ -363,6 +411,15 @@ private:
   /// undone work).
   std::vector<double> BusyCompute, BusyProtocol, BusyCheckpoint;
   double RecoveryExtraSeconds = 0;
+  /// Early-send NIC model (DESIGN.md §11), one slot per physical
+  /// processor and single-writer under the threaded engine. NetFree is
+  /// the time the NIC is next free — clock-like: it never rewinds on a
+  /// rollback and is not checkpointed (replayed issues reserve fresh
+  /// NIC time, exactly as replayed computes re-charge the clock).
+  /// NetDeferred/NetExposed are monotonic overlap telemetry: latency
+  /// moved off the CPU at issue, and backlog drained back into the
+  /// clock at the end of the run.
+  std::vector<double> NetFree, NetDeferred, NetExposed;
   /// Crash-stop bookkeeping that survives rollbacks: which processors
   /// have used their one crash (replay immunity), and every crash seen.
   std::vector<char> HasCrashed;
