@@ -28,6 +28,11 @@ enum Stream : uint64_t {
   DelayStream = 0x44,
   SlowStream = 0x55,
   CrashStream = 0x66,
+  CorruptStream = 0x77,
+  PartitionStream = 0x88,
+  PartitionLenStream = 0x99,
+  SlowLinkStream = 0xAA,
+  SlowLinkFactorStream = 0xBB,
 };
 
 } // namespace
@@ -85,6 +90,33 @@ double FaultModel::slowdown(unsigned Phys) const {
   if (Opt.MaxSlowdown <= 1.0)
     return 1.0;
   return 1.0 + unit(SlowStream, Phys, 0, 0) * (Opt.MaxSlowdown - 1.0);
+}
+
+bool FaultModel::corruptData(uint64_t Chan, uint64_t Seq,
+                             unsigned Attempt) const {
+  return unit(CorruptStream, Chan, Seq, Attempt) < Opt.CorruptRate;
+}
+
+unsigned FaultModel::partitionOutage(uint64_t Chan, uint64_t Seq) const {
+  if (Opt.PartitionRate <= 0 || Opt.PartitionMaxOutage == 0)
+    return 0;
+  if (unit(PartitionStream, Chan, Seq, 0) >= Opt.PartitionRate)
+    return 0;
+  // Caught in a partition: the outage length is an independent draw in
+  // [1, PartitionMaxOutage].
+  double U = unit(PartitionLenStream, Chan, Seq, 0);
+  unsigned Len = 1 + static_cast<unsigned>(
+                         U * static_cast<double>(Opt.PartitionMaxOutage));
+  return Len > Opt.PartitionMaxOutage ? Opt.PartitionMaxOutage : Len;
+}
+
+double FaultModel::linkFactor(unsigned SrcPhys, unsigned DstPhys) const {
+  if (!Opt.slowLinks() || SrcPhys == DstPhys)
+    return 1.0;
+  if (unit(SlowLinkStream, SrcPhys, DstPhys, 0) >= Opt.SlowLinkRate)
+    return 1.0;
+  return 1.0 + unit(SlowLinkFactorStream, SrcPhys, DstPhys, 0) *
+                   (Opt.SlowLinkMaxFactor - 1.0);
 }
 
 bool FaultModel::crashAt(unsigned Vp, uint64_t Step) const {

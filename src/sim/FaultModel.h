@@ -53,6 +53,27 @@ struct FaultOptions {
   /// seed so crash placement can be swept with the packet faults fixed.
   uint64_t CrashSeed = 0;
 
+  /// P(a delivered data copy arrives with a corrupted payload). Every
+  /// packet is checksummed at the receiver; a failed checksum is
+  /// discarded and a NACK returns to the sender, which retransmits on
+  /// its next attempt instead of waiting out the full ack timeout.
+  double CorruptRate = 0;
+  /// P(a packet's first transmissions fall inside a transient network
+  /// partition). While partitioned, the link blackholes both data and
+  /// acks; the partition heals after a seeded number of attempts in
+  /// [1, PartitionMaxOutage], so the sender's backoff eventually spans
+  /// it — unless the outage exceeds the retry budget, which surfaces as
+  /// a structured retry-exhaustion diagnostic.
+  double PartitionRate = 0;
+  /// Longest partition outage, in blackholed transmission attempts.
+  unsigned PartitionMaxOutage = 3;
+  /// P(a directed physical link is a straggler). Affected links carry a
+  /// per-link latency multiplier drawn uniformly in
+  /// [1, SlowLinkMaxFactor]; values and counters are untouched — only
+  /// delivery clocks stretch.
+  double SlowLinkRate = 0;
+  double SlowLinkMaxFactor = 4.0;
+
   /// Reliable-transport tuning: time the sender waits for an ack before
   /// the first retransmission; doubles (BackoffFactor) per retry.
   double RetryTimeoutSeconds = 500e-6;
@@ -64,19 +85,28 @@ struct FaultOptions {
   /// fault rates at zero, to measure the protocol's own overhead.
   bool AlwaysReliable = false;
 
+  /// True if slow-link injection can actually stretch a delivery.
+  bool slowLinks() const {
+    return SlowLinkRate > 0 && SlowLinkMaxFactor > 1.0;
+  }
   /// True if any fault can actually occur.
   bool faulty() const {
     return DropRate > 0 || DupRate > 0 || MaxDelaySeconds > 0 ||
-           MaxSlowdown > 1.0 || CrashRate > 0;
+           MaxSlowdown > 1.0 || CrashRate > 0 || CorruptRate > 0 ||
+           PartitionRate > 0 || slowLinks();
   }
   /// True if the simulator must route messages through the reliable
   /// transport instead of the ideal zero-overhead network. A pure
-  /// compute slowdown does not need acknowledged delivery; crash-stop
-  /// recovery does — the per-channel sequence numbers define the
-  /// rollback line and absorb messages resent during replay.
+  /// compute slowdown does not need acknowledged delivery, and neither
+  /// does a slow link (delivery is late, not lost); crash-stop recovery
+  /// does — the per-channel sequence numbers define the rollback line
+  /// and absorb messages resent during replay — as do corruption (the
+  /// NACK/retransmit cycle IS the transport) and partitions (healing is
+  /// observed through retries).
   bool transportActive() const {
     return DropRate > 0 || DupRate > 0 || MaxDelaySeconds > 0 ||
-           CrashRate > 0 || AlwaysReliable;
+           CrashRate > 0 || CorruptRate > 0 || PartitionRate > 0 ||
+           AlwaysReliable;
   }
 };
 
@@ -112,6 +142,24 @@ public:
   /// Sender-side wait before retransmission attempt \p Attempt (>= 1):
   /// RetryTimeoutSeconds * BackoffFactor^(Attempt - 1).
   double backoffDelay(unsigned Attempt) const;
+
+  /// Does the data payload of attempt \p Attempt of packet \p Seq arrive
+  /// corrupted (checksum failure at the receiver, triggering a NACK)?
+  bool corruptData(uint64_t Chan, uint64_t Seq, unsigned Attempt) const;
+  /// Transient-partition outage for packet \p Seq: the number of initial
+  /// transmission attempts the link blackholes before the partition
+  /// heals (0 = the packet is never caught in a partition). Pure in
+  /// (Seed, Chan, Seq), so healing is bit-for-bit reproducible.
+  unsigned partitionOutage(uint64_t Chan, uint64_t Seq) const;
+  /// Is attempt \p Attempt of packet \p Seq swallowed by a transient
+  /// partition (both the data and any ack are lost)?
+  bool partitioned(uint64_t Chan, uint64_t Seq, unsigned Attempt) const {
+    return Attempt < partitionOutage(Chan, Seq);
+  }
+  /// Straggler-link latency multiplier of the directed physical link
+  /// \p SrcPhys -> \p DstPhys, in [1, SlowLinkMaxFactor]. Exactly 1 for
+  /// self-links and for links the seeded schedule leaves healthy.
+  double linkFactor(unsigned SrcPhys, unsigned DstPhys) const;
 
   /// Does virtual processor \p Vp die immediately before executing its
   /// logical step \p Step? Pure in (CrashSeed, Vp, Step), so a crash

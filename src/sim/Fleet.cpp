@@ -1,0 +1,499 @@
+//===- sim/Fleet.cpp ------------------------------------------*- C++ -*-===//
+
+#include "sim/Fleet.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace dmcc;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point T0) {
+  return std::chrono::duration<double>(Clock::now() - T0).count();
+}
+
+/// SplitMix64 finalizer, as in FaultModel.cpp: the fleet's final-array
+/// hash must be a pure function of the array contents so parent and
+/// child agree without shipping the arrays over the pipe.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+uint64_t combine(uint64_t H, uint64_t X) { return mix64(H ^ mix64(X)); }
+
+/// Hashes every final-data array of a completed functional run, in
+/// array-id order, element by element (bit pattern of the double, or a
+/// sentinel for missing elements). Both the parent's clean run and each
+/// child's scenario run sweep through this same code, so equal hashes
+/// mean bit-identical final arrays.
+uint64_t hashFinalArrays(Simulator &Sim, const Program &P,
+                         const CompileSpec &Spec,
+                         const std::map<std::string, IntT> &Params) {
+  std::vector<IntT> Env(P.space().size(), 0);
+  for (unsigned I = 0; I != P.space().size(); ++I)
+    if (P.space().kind(I) == VarKind::Param)
+      Env[I] = Params.at(P.space().name(I));
+  uint64_t H = mix64(0xF1EE7ull);
+  for (const auto &[AId, FD] : Spec.FinalData) {
+    (void)FD;
+    H = combine(H, AId + 1);
+    const ArrayDecl &AD = P.array(AId);
+    std::vector<IntT> Sizes;
+    for (const AffineExpr &D : AD.DimSizes)
+      Sizes.push_back(D.evaluate(Env));
+    std::vector<IntT> Idx(Sizes.size(), 0);
+    bool Done = Sizes.empty();
+    for (IntT S : Sizes)
+      if (S <= 0)
+        Done = true;
+    while (!Done) {
+      auto Got = Sim.finalValue(AId, Idx);
+      if (Got) {
+        uint64_t Bits;
+        double V = *Got;
+        std::memcpy(&Bits, &V, sizeof Bits);
+        H = combine(H, Bits);
+      } else {
+        H = combine(H, 0xDEADull); // distinct mark for a missing element
+      }
+      for (unsigned K = Idx.size(); K-- > 0;) {
+        if (++Idx[K] < Sizes[K])
+          break;
+        Idx[K] = 0;
+        if (K == 0)
+          Done = true;
+      }
+    }
+  }
+  return H;
+}
+
+/// Child-side terminal classification, shipped through the pipe.
+enum ChildStatus : int32_t {
+  ChildOk = 0,
+  ChildMismatch = 1,
+  ChildDeadlock = 2,
+  ChildTransportExhausted = 3,
+};
+
+/// Fixed-size result record a worker writes to its pipe in one atomic
+/// write (well under PIPE_BUF). Anything short of a full record with
+/// the right magic is treated as a worker crash.
+struct WireResult {
+  uint32_t Magic = 0;
+  int32_t Status = 0;
+  double Makespan = 0;
+  uint64_t Retrans = 0;
+  uint64_t Crashes = 0;
+  uint64_t Rollbacks = 0;
+  uint64_t Hash = 0;
+  char Error[96] = {};
+};
+
+constexpr uint32_t WireMagic = 0x464C5452; // "FLTR"
+
+/// Appends minimally-escaped JSON string content.
+void appendEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      Out += ' ';
+    } else {
+      Out += C;
+    }
+  }
+}
+
+} // namespace
+
+const char *dmcc::scenarioStatusName(ScenarioStatus S) {
+  switch (S) {
+  case ScenarioStatus::Ok:
+    return "ok";
+  case ScenarioStatus::Mismatch:
+    return "mismatch";
+  case ScenarioStatus::Deadlock:
+    return "deadlock";
+  case ScenarioStatus::TransportExhausted:
+    return "transport-exhausted";
+  case ScenarioStatus::Timeout:
+    return "timeout";
+  case ScenarioStatus::WorkerCrash:
+    return "worker-crash";
+  case ScenarioStatus::RetryExhausted:
+    return "retry-exhausted";
+  }
+  return "unknown";
+}
+
+unsigned FleetReport::count(ScenarioStatus S) const {
+  unsigned N = 0;
+  for (const ScenarioOutcome &O : Outcomes)
+    N += O.Status == S;
+  return N;
+}
+
+std::string FleetReport::json() const {
+  std::string Out;
+  char Buf[512];
+  std::snprintf(Buf, sizeof Buf,
+                "{\n  \"golden_hash\": \"0x%016" PRIx64 "\",\n"
+                "  \"elapsed_seconds\": %.3f,\n  \"jobs\": %u,\n"
+                "  \"scenarios_total\": %zu,\n  \"counts\": {",
+                GoldenHash, ElapsedSeconds, Jobs, Outcomes.size());
+  Out += Buf;
+  static const ScenarioStatus All[] = {
+      ScenarioStatus::Ok,       ScenarioStatus::Mismatch,
+      ScenarioStatus::Deadlock, ScenarioStatus::TransportExhausted,
+      ScenarioStatus::Timeout,  ScenarioStatus::WorkerCrash,
+      ScenarioStatus::RetryExhausted};
+  for (unsigned I = 0; I != 7; ++I) {
+    std::snprintf(Buf, sizeof Buf, "%s\"%s\": %u", I ? ", " : "",
+                  scenarioStatusName(All[I]), count(All[I]));
+    Out += Buf;
+  }
+  Out += "},\n  \"scenarios\": [\n";
+  for (size_t I = 0; I != Outcomes.size(); ++I) {
+    const ScenarioOutcome &O = Outcomes[I];
+    const FaultOptions &F = O.Scn.Faults;
+    std::snprintf(
+        Buf, sizeof Buf,
+        "    {\"index\": %u, \"fault_seed\": %" PRIu64
+        ", \"crash_seed\": %" PRIu64 ", \"checkpoint_interval\": %" PRIu64
+        ", \"threads\": %u, \"drop_rate\": %g, \"corrupt_rate\": %g, "
+        "\"partition_rate\": %g, \"slow_link_rate\": %g, "
+        "\"crash_rate\": %g, \"status\": \"%s\", \"attempts\": %u, "
+        "\"makespan_seconds\": %.9f, \"retransmissions\": %" PRIu64
+        ", \"crashes\": %" PRIu64 ", \"rollbacks\": %" PRIu64
+        ", \"hash\": \"0x%016" PRIx64 "\", \"hash_match\": %s, "
+        "\"last_failure\": \"",
+        O.Scn.Index, F.Seed, F.CrashSeed, O.Scn.CheckpointInterval,
+        O.Scn.Threads, F.DropRate, F.CorruptRate, F.PartitionRate,
+        F.SlowLinkRate, F.CrashRate, scenarioStatusName(O.Status),
+        O.Attempts, O.MakespanSeconds, O.Retransmissions, O.Crashes,
+        O.Rollbacks, O.ResultHash,
+        O.ok() && O.ResultHash == GoldenHash ? "true" : "false");
+    Out += Buf;
+    appendEscaped(Out, O.LastFailure);
+    Out += "\"}";
+    Out += I + 1 != Outcomes.size() ? ",\n" : "\n";
+  }
+  Out += "  ]\n}\n";
+  return Out;
+}
+
+std::vector<FleetScenario> dmcc::buildMatrix(const FleetMatrixSpec &MS) {
+  auto OrDefault = [](std::vector<uint64_t> V,
+                      uint64_t D) -> std::vector<uint64_t> {
+    return V.empty() ? std::vector<uint64_t>{D} : V;
+  };
+  std::vector<uint64_t> FSeeds = OrDefault(MS.FaultSeeds, 1);
+  std::vector<uint64_t> CSeeds = OrDefault(MS.CrashSeeds, 0);
+  std::vector<uint64_t> Intervals = OrDefault(MS.CheckpointIntervals, 0);
+  std::vector<unsigned> Threads =
+      MS.ThreadCounts.empty() ? std::vector<unsigned>{1} : MS.ThreadCounts;
+
+  std::vector<FleetScenario> Out;
+  for (uint64_t FS : FSeeds)
+    for (uint64_t CS : CSeeds)
+      for (uint64_t IV : Intervals)
+        for (unsigned T : Threads) {
+          FleetScenario S;
+          S.Index = static_cast<unsigned>(Out.size());
+          S.Faults = MS.Base;
+          S.Faults.Seed = FS;
+          S.Faults.CrashSeed = CS;
+          // A crash without checkpointing is unrecoverable by
+          // construction; keep those cells crash-free instead of
+          // polluting the matrix with guaranteed losses.
+          if (IV == 0)
+            S.Faults.CrashRate = 0;
+          S.CheckpointInterval = IV;
+          S.Threads = T == 0 ? 1 : T;
+          Out.push_back(std::move(S));
+        }
+  return Out;
+}
+
+Fleet::Fleet(const Program &Prog, const CompiledProgram &Comp,
+             const CompileSpec &Sp, std::map<std::string, IntT> Par,
+             IntT Pr, FleetOptions Opt)
+    : P(Prog), CP(Comp), Spec(Sp), Params(std::move(Par)), Procs(Pr),
+      FO(Opt) {
+  if (FO.Jobs == 0)
+    FO.Jobs = 1;
+}
+
+SimOptions Fleet::scenarioOptions(const FleetScenario &S) const {
+  SimOptions SO;
+  SO.PhysGrid = {Procs};
+  SO.ParamValues = Params;
+  SO.Functional = true;
+  SO.CollapseLoops = false;
+  SO.Faults = S.Faults;
+  SO.Checkpoint.IntervalSteps = S.CheckpointInterval;
+  SO.Threads = S.Threads;
+  return SO;
+}
+
+uint64_t Fleet::goldenHash() {
+  if (!GoldenComputed) {
+    FleetScenario Clean; // all fault knobs at defaults, sequential
+    Simulator Sim(P, CP, Spec, scenarioOptions(Clean));
+    SimResult R = Sim.run();
+    Golden = R.Ok ? hashFinalArrays(Sim, P, Spec, Params) : 0;
+    GoldenComputed = true;
+  }
+  return Golden;
+}
+
+/// Per-shard supervision state. Shard k owns scenarios k, k+Jobs,
+/// k+2*Jobs, ... and runs them in order, one child at a time.
+struct Fleet::Shard {
+  std::deque<unsigned> Queue; ///< matrix positions still to run
+  bool HasCur = false;
+  unsigned Cur = 0;      ///< scenario currently being supervised
+  unsigned Attempt = 0;  ///< spawns consumed for Cur
+  pid_t Pid = -1;        ///< active child, or -1
+  int Fd = -1;           ///< read end of the child's result pipe
+  Clock::time_point Deadline;  ///< watchdog expiry for the child
+  Clock::time_point NextSpawn; ///< earliest respawn (backoff)
+};
+
+FleetReport Fleet::run(const std::vector<FleetScenario> &Matrix) {
+  Clock::time_point T0 = Clock::now();
+  FleetReport Rep;
+  Rep.Jobs = FO.Jobs;
+  Rep.GoldenHash = goldenHash();
+  Rep.Outcomes.resize(Matrix.size());
+  for (size_t I = 0; I != Matrix.size(); ++I)
+    Rep.Outcomes[I].Scn = Matrix[I];
+
+  std::vector<Shard> Shards(FO.Jobs);
+  for (size_t I = 0; I != Matrix.size(); ++I)
+    Shards[I % FO.Jobs].Queue.push_back(static_cast<unsigned>(I));
+
+  // SIGPIPE would kill the orchestrator if a child's pipe went away
+  // mid-write; the supervisor only reads, but be explicit.
+  signal(SIGPIPE, SIG_IGN);
+
+  auto Spawn = [&](Shard &Sh) {
+    const FleetScenario &S = Matrix[Sh.Cur];
+    int Fds[2];
+    if (pipe(Fds) != 0) {
+      Sh.NextSpawn = Clock::now() + std::chrono::milliseconds(10);
+      return;
+    }
+    ++Sh.Attempt;
+    pid_t Pid = fork();
+    if (Pid == 0) {
+      // --- child ---
+      close(Fds[0]);
+      if (FO.HangScenarios.count(S.Index))
+        for (;;)
+          pause(); // sabotage: wedge until the watchdog fires
+      if (FO.AbortScenarios.count(S.Index) ||
+          (FO.AbortOnceScenarios.count(S.Index) && Sh.Attempt == 1)) {
+        struct rlimit RL = {0, 0};
+        setrlimit(RLIMIT_CORE, &RL); // no core file for the sabotage
+        std::abort();
+      }
+      WireResult W;
+      W.Magic = WireMagic;
+      Simulator Sim(P, CP, Spec, scenarioOptions(S));
+      SimResult R = Sim.run();
+      W.Makespan = R.MakespanSeconds;
+      W.Retrans = R.Retransmissions;
+      W.Crashes = R.Recovery.Crashes;
+      W.Rollbacks = R.Recovery.Rollbacks;
+      if (!R.Ok) {
+        W.Status = R.Diag.RetryExhausted.empty()
+                       ? ChildDeadlock
+                       : ChildTransportExhausted;
+        std::snprintf(W.Error, sizeof W.Error, "%s", R.Error.c_str());
+      } else {
+        W.Hash = hashFinalArrays(Sim, P, Spec, Params);
+        W.Status = W.Hash == Golden ? ChildOk : ChildMismatch;
+      }
+      ssize_t N = write(Fds[1], &W, sizeof W);
+      (void)N;
+      _exit(0); // no stdio flush: the parent owns the terminal
+    }
+    // --- parent ---
+    close(Fds[1]);
+    if (Pid < 0) {
+      close(Fds[0]);
+      --Sh.Attempt;
+      Sh.NextSpawn = Clock::now() + std::chrono::milliseconds(10);
+      return;
+    }
+    Sh.Pid = Pid;
+    Sh.Fd = Fds[0];
+    Sh.Deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         FO.TimeoutSeconds));
+  };
+
+  unsigned Remaining = static_cast<unsigned>(Matrix.size());
+
+  // Terminal bookkeeping for the shard's current scenario.
+  auto Finish = [&](Shard &Sh, ScenarioOutcome O) {
+    // Keep the failure trail of earlier retried attempts even when a
+    // respawn eventually succeeded.
+    if (O.LastFailure.empty())
+      O.LastFailure = Rep.Outcomes[Sh.Cur].LastFailure;
+    O.Scn = Matrix[Sh.Cur];
+    O.Attempts = Sh.Attempt;
+    Rep.Outcomes[Sh.Cur] = std::move(O);
+    Sh.HasCur = false;
+    Sh.Attempt = 0;
+    --Remaining;
+  };
+
+  // A retryable failure (timeout / worker crash): respawn with
+  // exponential backoff until the budget runs out.
+  auto FailRetryable = [&](Shard &Sh, ScenarioStatus Kind,
+                           std::string Why) {
+    ScenarioOutcome &O = Rep.Outcomes[Sh.Cur];
+    O.LastFailure = std::move(Why);
+    if (Sh.Attempt <= FO.MaxRetries) {
+      double Back = FO.RetryBackoffSeconds;
+      for (unsigned K = 1; K < Sh.Attempt; ++K)
+        Back *= 2;
+      Sh.NextSpawn = Clock::now() +
+                     std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(Back));
+      return;
+    }
+    ScenarioOutcome Fin;
+    Fin.LastFailure = O.LastFailure;
+    // With no retry budget the raw failure is the verdict; once
+    // retries were attempted and spent, the scenario is classified as
+    // retry-exhausted with the last failure recorded.
+    Fin.Status = FO.MaxRetries == 0 ? Kind : ScenarioStatus::RetryExhausted;
+    Finish(Sh, std::move(Fin));
+  };
+
+  // Reap one finished child (already waited on) and classify it.
+  auto Classify = [&](Shard &Sh, int WaitStatus, bool Timedout) {
+    WireResult W;
+    ssize_t N = 0;
+    if (!Timedout) {
+      // Drain the (at most record-sized, atomic) result write.
+      char *Dst = reinterpret_cast<char *>(&W);
+      while (N < static_cast<ssize_t>(sizeof W)) {
+        ssize_t Got = read(Sh.Fd, Dst + N, sizeof W - N);
+        if (Got <= 0)
+          break;
+        N += Got;
+      }
+    }
+    close(Sh.Fd);
+    Sh.Fd = -1;
+    Sh.Pid = -1;
+    if (Timedout) {
+      char Buf[96];
+      std::snprintf(Buf, sizeof Buf,
+                    "watchdog timeout after %.3f s (attempt %u)",
+                    FO.TimeoutSeconds, Sh.Attempt);
+      FailRetryable(Sh, ScenarioStatus::Timeout, Buf);
+      return;
+    }
+    bool Structured = N == static_cast<ssize_t>(sizeof W) &&
+                      W.Magic == WireMagic && WIFEXITED(WaitStatus) &&
+                      WEXITSTATUS(WaitStatus) == 0;
+    if (!Structured) {
+      char Buf[96];
+      if (WIFSIGNALED(WaitStatus))
+        std::snprintf(Buf, sizeof Buf,
+                      "worker killed by signal %d (attempt %u)",
+                      WTERMSIG(WaitStatus), Sh.Attempt);
+      else
+        std::snprintf(Buf, sizeof Buf,
+                      "worker exited with status %d (attempt %u)",
+                      WIFEXITED(WaitStatus) ? WEXITSTATUS(WaitStatus)
+                                            : -1,
+                      Sh.Attempt);
+      FailRetryable(Sh, ScenarioStatus::WorkerCrash, Buf);
+      return;
+    }
+    ScenarioOutcome O;
+    O.MakespanSeconds = W.Makespan;
+    O.Retransmissions = W.Retrans;
+    O.Crashes = W.Crashes;
+    O.Rollbacks = W.Rollbacks;
+    O.ResultHash = W.Hash;
+    switch (W.Status) {
+    case ChildOk:
+      O.Status = ScenarioStatus::Ok;
+      break;
+    case ChildMismatch:
+      O.Status = ScenarioStatus::Mismatch;
+      break;
+    case ChildTransportExhausted:
+      O.Status = ScenarioStatus::TransportExhausted;
+      O.LastFailure = W.Error;
+      break;
+    default:
+      O.Status = ScenarioStatus::Deadlock;
+      O.LastFailure = W.Error;
+      break;
+    }
+    Finish(Sh, std::move(O));
+  };
+
+  while (Remaining) {
+    bool Progress = false;
+    for (Shard &Sh : Shards) {
+      if (Sh.Pid < 0) {
+        if (!Sh.HasCur) {
+          if (Sh.Queue.empty())
+            continue;
+          Sh.Cur = Sh.Queue.front();
+          Sh.Queue.pop_front();
+          Sh.HasCur = true;
+          Sh.Attempt = 0;
+          Sh.NextSpawn = Clock::now();
+        }
+        if (Clock::now() >= Sh.NextSpawn) {
+          Spawn(Sh);
+          Progress = true;
+        }
+        continue;
+      }
+      int WaitStatus = 0;
+      pid_t Got = waitpid(Sh.Pid, &WaitStatus, WNOHANG);
+      if (Got == Sh.Pid) {
+        Classify(Sh, WaitStatus, /*Timedout=*/false);
+        Progress = true;
+      } else if (Got == 0 && Clock::now() > Sh.Deadline) {
+        kill(Sh.Pid, SIGKILL);
+        waitpid(Sh.Pid, &WaitStatus, 0);
+        Classify(Sh, WaitStatus, /*Timedout=*/true);
+        Progress = true;
+      }
+    }
+    if (!Progress && Remaining) {
+      struct timespec TS = {0, 2 * 1000 * 1000}; // 2 ms sweep
+      nanosleep(&TS, nullptr);
+    }
+  }
+
+  Rep.ElapsedSeconds = secondsSince(T0);
+  return Rep;
+}

@@ -1,0 +1,168 @@
+//===- sim/Fleet.h - Crash-tolerant scenario fleet orchestration -*- C++ -*-===//
+//
+// Part of dmcc, a reproduction of Amarasinghe & Lam, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scenario fleet runner: compile a program once, then fan a matrix
+/// of simulation scenarios (fault seed x crash seed x checkpoint
+/// interval x engine/thread count) across a fork-based worker pool with
+/// robust supervision (DESIGN.md §12):
+///
+///  - every scenario runs in its own forked child, so a wedged or
+///    crashed simulation never takes the orchestrator down;
+///  - a wall-clock watchdog SIGKILLs children past their deadline;
+///  - children that die (signal or nonzero exit) or hang are respawned
+///    with exponential backoff up to a bounded retry budget;
+///  - scenario i is deterministically assigned to shard i mod Jobs and
+///    each shard processes its scenarios in order, so a rerun of the
+///    same matrix replays the same assignment;
+///  - every scenario is accounted for in the final report, with one of
+///    the statuses: ok / mismatch / deadlock / transport-exhausted /
+///    timeout / worker-crash / retry-exhausted.
+///
+/// Surviving scenarios are checked against the clean run: the parent
+/// executes the scenario matrix's program once, sequentially and
+/// fault-free, and hashes every final-data array; each child hashes its
+/// own final arrays the same way, and any difference is reported as a
+/// `mismatch` — turning a fleet run into a standing bit-exactness proof
+/// over hundreds of hostile fault schedules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMCC_SIM_FLEET_H
+#define DMCC_SIM_FLEET_H
+
+#include "sim/Simulator.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dmcc {
+
+/// One cell of the scenario matrix: a complete fault/recovery/engine
+/// configuration for a single simulated run.
+struct FleetScenario {
+  unsigned Index = 0;       ///< position in the matrix (report key)
+  FaultOptions Faults;      ///< fault schedule, incl. Seed and CrashSeed
+  uint64_t CheckpointInterval = 0; ///< logical steps; 0 = no checkpoints
+  unsigned Threads = 1;     ///< simulator engine: 1 = sequential
+};
+
+/// Final classification of one scenario after supervision.
+enum class ScenarioStatus {
+  Ok,                 ///< completed, final arrays match the clean run
+  Mismatch,           ///< completed but final arrays differ (dmcc bug)
+  Deadlock,           ///< simulation stalled with no transport failure
+  TransportExhausted, ///< transport gave up on a packet (deterministic)
+  Timeout,            ///< watchdog killed the worker (after retries)
+  WorkerCrash,        ///< worker died abnormally (after retries)
+  RetryExhausted,     ///< respawn budget spent on timeouts/crashes
+};
+
+/// Stable lower-case name used in the JSON report.
+const char *scenarioStatusName(ScenarioStatus S);
+
+/// What happened to one scenario, including supervision metadata.
+struct ScenarioOutcome {
+  FleetScenario Scn;
+  ScenarioStatus Status = ScenarioStatus::WorkerCrash;
+  unsigned Attempts = 0;    ///< worker spawns consumed (1 = clean)
+  std::string LastFailure;  ///< last retryable failure, if any
+  double MakespanSeconds = 0;
+  uint64_t Retransmissions = 0;
+  uint64_t Crashes = 0;
+  uint64_t Rollbacks = 0;
+  uint64_t ResultHash = 0;  ///< final-array hash (0 if never completed)
+
+  bool ok() const { return Status == ScenarioStatus::Ok; }
+};
+
+/// Orchestrator tuning plus the sabotage hooks the supervision tests
+/// use to manufacture hostile workers deterministically.
+struct FleetOptions {
+  unsigned Jobs = 4;            ///< worker shards (concurrent children)
+  double TimeoutSeconds = 30;   ///< per-scenario watchdog deadline
+  unsigned MaxRetries = 2;      ///< respawns after a timeout/crash
+  double RetryBackoffSeconds = 0.05; ///< first respawn delay; doubles
+  /// Sabotage hooks: scenario indices whose worker hangs forever
+  /// (exercises the watchdog), aborts on every attempt (exercises
+  /// retry exhaustion), or aborts on the first attempt only (exercises
+  /// retry-then-succeed). Applied in the child, after fork.
+  std::set<unsigned> HangScenarios;
+  std::set<unsigned> AbortScenarios;
+  std::set<unsigned> AbortOnceScenarios;
+};
+
+/// Aggregated fleet result: one outcome per scenario (matrix order),
+/// plus the clean-run reference hash and wall-clock totals.
+struct FleetReport {
+  std::vector<ScenarioOutcome> Outcomes;
+  uint64_t GoldenHash = 0;   ///< clean sequential run's final-array hash
+  double ElapsedSeconds = 0; ///< orchestrator wall-clock
+  unsigned Jobs = 0;
+
+  unsigned count(ScenarioStatus S) const;
+  /// True when every scenario reached a terminal status (always holds
+  /// after run(); exposed so tests can assert it independently).
+  bool allAccounted() const { return true; }
+  /// Renders the report as a single JSON document.
+  std::string json() const;
+};
+
+/// Dimensions of a scenario matrix; the cross product of all vectors
+/// becomes the fleet's work list. Empty vectors mean "one default cell"
+/// on that axis.
+struct FleetMatrixSpec {
+  std::vector<uint64_t> FaultSeeds;           ///< default: {1}
+  std::vector<uint64_t> CrashSeeds;           ///< default: {0}
+  std::vector<uint64_t> CheckpointIntervals;  ///< default: {0}
+  std::vector<unsigned> ThreadCounts;         ///< default: {1}
+  /// Rates shared by every scenario (Seed/CrashSeed overwritten per
+  /// cell). CrashRate is zeroed in cells without checkpointing, where
+  /// a crash would be unrecoverable by construction.
+  FaultOptions Base;
+};
+
+/// Expands \p Spec's cross product into an indexed scenario list.
+std::vector<FleetScenario> buildMatrix(const FleetMatrixSpec &Spec);
+
+/// The fleet orchestrator. Holds the once-compiled program; run() fans
+/// a scenario list across the worker pool and aggregates the report.
+/// The caller must not hold live threads across run(): the supervisor
+/// forks, and only the children may go multi-threaded.
+class Fleet {
+public:
+  Fleet(const Program &P, const CompiledProgram &CP,
+        const CompileSpec &Spec, std::map<std::string, IntT> Params,
+        IntT Procs, FleetOptions FO);
+
+  /// Runs every scenario under supervision; blocks until all are
+  /// terminal. Outcomes are returned in matrix (index) order.
+  FleetReport run(const std::vector<FleetScenario> &Matrix);
+
+  /// The clean reference: sequential, fault-free, functional run,
+  /// hashed over every final-data array (computed once, cached).
+  uint64_t goldenHash();
+
+private:
+  struct Shard;
+  /// Runs one scenario in-process and fills the wire fields; factored
+  /// out so the child body stays fork-safe and tiny.
+  SimOptions scenarioOptions(const FleetScenario &S) const;
+
+  const Program &P;
+  const CompiledProgram &CP;
+  const CompileSpec &Spec;
+  std::map<std::string, IntT> Params;
+  IntT Procs;
+  FleetOptions FO;
+  uint64_t Golden = 0;
+  bool GoldenComputed = false;
+};
+
+} // namespace dmcc
+
+#endif // DMCC_SIM_FLEET_H

@@ -527,6 +527,10 @@ void Simulator::flushCounters(SimResult &R) const {
   R.DroppedPackets = Ctr.DroppedPackets;
   R.DuplicatesSuppressed = Ctr.DuplicatesSuppressed;
   R.AcksSent = Ctr.AcksSent;
+  R.CorruptedPackets = Ctr.CorruptedPackets;
+  R.NacksSent = Ctr.NacksSent;
+  R.PartitionDrops = Ctr.PartitionDrops;
+  R.SlowLinkMessages = Ctr.SlowLinkMessages;
   R.Recovery.Crashes = Ctr.Crashes;
   fillOverlap(R);
 }
@@ -1012,6 +1016,13 @@ bool Simulator::stepProc(VirtProc &V, StepCtx &Ctx) {
       }
       unsigned DstPhys = physOf(Dst);
       bool Intra = DstPhys == V.Phys;
+      // Straggler-link latency multiplier for this directed physical
+      // link: exactly 1.0 (cost-neutral) unless slow-link injection is
+      // configured. Pure in (seed, src phys, dst phys), so the factor is
+      // identical across engines and scheduler interleavings.
+      const double LinkF =
+          Opts.Faults.slowLinks() ? Faults.linkFactor(V.Phys, DstPhys)
+                                  : 1.0;
       bool InBurst = St.IsMulticast &&
                      V.LastMulticastComm == static_cast<int>(St.CommId);
       if (!InBurst)
@@ -1088,8 +1099,10 @@ bool Simulator::stepProc(VirtProc &V, StepCtx &Ctx) {
           Start = Clock;
         }
         double DeliverLat =
-            Opts.Cost.MsgLatency +
-            static_cast<double>(M.WordCount) * Opts.Cost.WireTimePerWord;
+            (Opts.Cost.MsgLatency +
+             static_cast<double>(M.WordCount) *
+                 Opts.Cost.WireTimePerWord) *
+            LinkF;
         unsigned MaxAttempts = Opts.Faults.MaxRetries + 1;
         unsigned Made = 0;
         bool Delivered = false, Acked = false;
@@ -1097,8 +1110,22 @@ bool Simulator::stepProc(VirtProc &V, StepCtx &Ctx) {
         for (unsigned A = 0; A != MaxAttempts && !Acked; ++A) {
           Offset += Faults.backoffDelay(A);
           ++Made;
+          if (Faults.partitioned(Chan, Seq, A)) {
+            // Transient partition: the link blackholes this attempt
+            // (and would its ack); the sender's exponential backoff
+            // eventually spans the seeded outage.
+            ++Ctx.C.PartitionDrops;
+            continue;
+          }
           if (Faults.dropData(Chan, Seq, A)) {
             ++Ctx.C.DroppedPackets;
+            continue;
+          }
+          if (Faults.corruptData(Chan, Seq, A)) {
+            // Checksum failure at the receiver: the corrupted copy is
+            // discarded and a NACK triggers the next retransmission.
+            ++Ctx.C.CorruptedPackets;
+            ++Ctx.C.NacksSent;
             continue;
           }
           Delivered = true;
@@ -1131,6 +1158,8 @@ bool Simulator::stepProc(VirtProc &V, StepCtx &Ctx) {
         // overhead shows up in Retransmissions and the clocks.
         ++Ctx.C.Messages;
         Ctx.C.Words += M.WordCount;
+        if (LinkF > 1.0)
+          ++Ctx.C.SlowLinkMessages;
         if (Early) {
           // The NIC is busy through every attempt's backoff plus the
           // final transmission; the CPU already paid IssueCost and
@@ -1163,6 +1192,8 @@ bool Simulator::stepProc(VirtProc &V, StepCtx &Ctx) {
           C = Opts.Cost.MsgLatency + M.WordCount * Opts.Cost.SendPerWord;
         ++Ctx.C.Messages;
         Ctx.C.Words += M.WordCount;
+        if (LinkF > 1.0)
+          ++Ctx.C.SlowLinkMessages;
         if (Early) {
           // The CPU pays only the pack + issue overhead; the fixed
           // per-message latency runs on the NIC, which serializes this
@@ -1183,16 +1214,16 @@ bool Simulator::stepProc(VirtProc &V, StepCtx &Ctx) {
           NetFree[V.Phys] = Done;
           NetDeferred[V.Phys] += C - CpuC;
           ++Ctx.C.EarlySends;
-          M.ReadyTime =
-              Done +
-              static_cast<double>(M.WordCount) * Opts.Cost.WireTimePerWord;
+          M.ReadyTime = Done + static_cast<double>(M.WordCount) *
+                                   Opts.Cost.WireTimePerWord * LinkF;
         } else {
           Clock += C;
           Busy += C;
           BusyProtocol[V.Phys] += C;
-          M.ReadyTime =
-              Clock + Opts.Cost.MsgLatency +
-              static_cast<double>(M.WordCount) * Opts.Cost.WireTimePerWord;
+          M.ReadyTime = Clock + (Opts.Cost.MsgLatency +
+                                 static_cast<double>(M.WordCount) *
+                                     Opts.Cost.WireTimePerWord) *
+                                    LinkF;
         }
         V.BurstPhys.insert(DstPhys);
         V.BurstReady = M.ReadyTime;

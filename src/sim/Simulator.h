@@ -21,9 +21,12 @@
 /// full problem sizes.
 ///
 /// An optional fault layer (SimOptions::Faults, see FaultModel.h) makes
-/// the network lossy — dropped, duplicated and delayed packets, slow
-/// processors — and runs every channel over an acked stop-and-wait
-/// transport with bounded retransmission. Results remain bit-exact under
+/// the network lossy — dropped, duplicated, delayed and corrupted
+/// packets (checksummed delivery with NACK-triggered retransmission),
+/// transient partitions that heal after a seeded interval, straggler
+/// links with per-link latency multipliers, slow processors — and runs
+/// every channel over an acked stop-and-wait transport with bounded
+/// retransmission. Results remain bit-exact under
 /// any fault schedule; unrecoverable stalls end in a structured
 /// SimDiagnostics instead of a hang. With the default options the layer
 /// is bypassed and costs match the lossless machine exactly.
@@ -162,6 +165,12 @@ struct SimCounters {
            ComputeIterations = 0;
   uint64_t Retransmissions = 0, DroppedPackets = 0,
            DuplicatesSuppressed = 0, AcksSent = 0;
+  /// Hostile-network telemetry, monotonic like the transport counters:
+  /// checksum failures NACKed back to the sender, NACK transmissions,
+  /// attempts swallowed by a transient partition, and logical messages
+  /// that crossed a straggler (latency-multiplied) link.
+  uint64_t CorruptedPackets = 0, NacksSent = 0, PartitionDrops = 0,
+           SlowLinkMessages = 0;
   uint64_t Crashes = 0; ///< crash-stop kills (survive rollback)
   /// Nonblocking sends issued. Monotonic wire-level telemetry like
   /// Retransmissions: replayed issues after a rollback count again.
@@ -177,6 +186,10 @@ struct SimCounters {
     DroppedPackets += O.DroppedPackets;
     DuplicatesSuppressed += O.DuplicatesSuppressed;
     AcksSent += O.AcksSent;
+    CorruptedPackets += O.CorruptedPackets;
+    NacksSent += O.NacksSent;
+    PartitionDrops += O.PartitionDrops;
+    SlowLinkMessages += O.SlowLinkMessages;
     Crashes += O.Crashes;
     EarlySends += O.EarlySends;
   }
@@ -300,6 +313,10 @@ struct SimResult {
   uint64_t DroppedPackets = 0;       ///< data copies lost in flight
   uint64_t DuplicatesSuppressed = 0; ///< redundant copies discarded
   uint64_t AcksSent = 0;             ///< acknowledgements generated
+  uint64_t CorruptedPackets = 0;     ///< checksum failures at receivers
+  uint64_t NacksSent = 0;            ///< corruption NACKs generated
+  uint64_t PartitionDrops = 0;       ///< attempts lost to partitions
+  uint64_t SlowLinkMessages = 0;     ///< messages over straggler links
 
   /// Crash/checkpoint/restart telemetry.
   RecoveryStats Recovery;

@@ -1,0 +1,54 @@
+//===- support/ExitCodes.h - Process exit-code taxonomy --------*- C++ -*-===//
+//
+// Part of dmcc, a reproduction of Amarasinghe & Lam, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process exit-code taxonomy shared by the dmcc command-line tools
+/// and the fleet orchestrator. Scripted callers (the fleet runner, CI,
+/// shell pipelines) classify a failed run by its exit status alone,
+/// without parsing stderr — so these values are a stable contract:
+/// append new codes, never renumber existing ones.
+///
+/// Signal deaths are reported by the OS (wait status / 128+N shells) and
+/// deliberately do not overlap: every code here is below 128, and the
+/// conventional sysexits range is avoided except for EX_SOFTWARE (70),
+/// which we reuse for internal invariant violations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMCC_SUPPORT_EXITCODES_H
+#define DMCC_SUPPORT_EXITCODES_H
+
+namespace dmcc {
+
+enum ExitCode : int {
+  /// The requested work completed (for a simulation: every processor
+  /// drained its program and, if verification ran, the results matched).
+  ExitSuccess = 0,
+  /// Bad invocation: unknown flag, missing or malformed flag value, a
+  /// probability outside [0, 1], or an otherwise out-of-range knob.
+  /// Nothing was compiled or simulated.
+  ExitUsage = 2,
+  /// The input program failed to parse or compile.
+  ExitCompileError = 3,
+  /// The simulation deadlocked: some processor blocked forever on a
+  /// receive (or the scheduler made no progress), with no transport
+  /// failure to blame.
+  ExitDeadlock = 4,
+  /// The reliable transport gave up on at least one packet after
+  /// exhausting its retry budget (hostile network stronger than the
+  /// configured MaxRetries/backoff could absorb).
+  ExitRetryExhausted = 5,
+  /// The simulation completed but its final arrays differ from the
+  /// sequential reference execution.
+  ExitVerifyMismatch = 6,
+  /// Internal invariant violation (fatalError/overflowError): a dmcc
+  /// bug, not a property of the input. Matches sysexits EX_SOFTWARE.
+  ExitInternal = 70,
+};
+
+} // namespace dmcc
+
+#endif // DMCC_SUPPORT_EXITCODES_H

@@ -2,13 +2,19 @@
 
 #include "support/IntOps.h"
 
+#include "support/ExitCodes.h"
+
 #include <cstdio>
 
 using namespace dmcc;
 
+// Invariant violations exit with the taxonomy's internal-error code
+// (ExitCodes.h) via _Exit: supervisors distinguish "dmcc bug" from
+// compile/simulation failures by status alone, and skipping atexit
+// handlers keeps the death as abrupt as the abort() it replaces.
 void dmcc::fatalError(const char *Msg) {
   std::fprintf(stderr, "dmcc fatal error: %s\n", Msg);
-  std::abort();
+  std::_Exit(ExitInternal);
 }
 
 void dmcc::overflowError(const char *Op, IntT A, IntT B) {
@@ -16,7 +22,7 @@ void dmcc::overflowError(const char *Op, IntT A, IntT B) {
                "dmcc fatal error: integer overflow: %lld %s %lld "
                "exceeds the 64-bit coefficient range\n",
                static_cast<long long>(A), Op, static_cast<long long>(B));
-  std::abort();
+  std::_Exit(ExitInternal);
 }
 
 IntT dmcc::gcdInt(IntT A, IntT B) {

@@ -24,11 +24,12 @@ namespace dmcc {
 /// The integer type used for all polyhedral coefficients.
 using IntT = int64_t;
 
-/// Aborts the process with \p Msg. Used for invariant violations that must
-/// be fatal even in release builds (e.g. coefficient overflow).
+/// Terminates the process with \p Msg and the internal-error exit code
+/// (ExitCodes.h). Used for invariant violations that must be fatal even
+/// in release builds (e.g. coefficient overflow).
 [[noreturn]] void fatalError(const char *Msg);
 
-/// Aborts reporting an overflowing operation with its operands, e.g.
+/// Terminates reporting an overflowing operation with its operands, e.g.
 /// "integer overflow: 3000000000000000000 * 5".
 [[noreturn]] void overflowError(const char *Op, IntT A, IntT B);
 

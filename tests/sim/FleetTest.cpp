@@ -1,0 +1,212 @@
+//===- tests/sim/FleetTest.cpp --------------------------------*- C++ -*-===//
+//
+// Supervision tests for the scenario fleet runner (DESIGN.md §12):
+// workers that hang (watchdog), abort once (retry then succeed) or
+// abort always (retry exhaustion) must each land in the right terminal
+// status, every scenario must be accounted for, and surviving scenarios
+// must hash bit-identical to the clean sequential run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "sim/Fleet.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmcc;
+
+namespace {
+
+Program lu() {
+  return parseProgramOrDie(R"(
+param N;
+array X[N + 1][N + 1];
+for i1 = 0 to N {
+  for i2 = i1 + 1 to N {
+    X[i2][i1] = X[i2][i1] / X[i1][i1];
+    for i3 = i1 + 1 to N {
+      X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3];
+    }
+  }
+}
+)");
+}
+
+CompileSpec luSpec(const Program &P) {
+  CompileSpec Spec;
+  Decomposition D = cyclicData(P, 0, 0);
+  Spec.Stmts.push_back(StmtPlan{0, ownerComputes(P, 0, D)});
+  Spec.Stmts.push_back(StmtPlan{1, ownerComputes(P, 1, D)});
+  Spec.InitialData.emplace(0, D);
+  Spec.FinalData.emplace(0, D);
+  return Spec;
+}
+
+/// A small test fixture owning one compiled LU instance.
+struct FleetEnv {
+  Program P = lu();
+  CompileSpec Spec = luSpec(P);
+  CompiledProgram CP = compile(P, Spec);
+  std::map<std::string, IntT> Params = {{"N", 16}};
+
+  Fleet make(FleetOptions FO) {
+    return Fleet(P, CP, Spec, Params, /*Procs=*/4, FO);
+  }
+};
+
+/// One clean scenario with the given index and fault seed.
+FleetScenario cleanScn(unsigned Index, uint64_t Seed = 1) {
+  FleetScenario S;
+  S.Index = Index;
+  S.Faults.Seed = Seed;
+  return S;
+}
+
+} // namespace
+
+TEST(Fleet, HangingWorkerTripsTheWatchdog) {
+  FleetEnv E;
+  FleetOptions FO;
+  FO.Jobs = 1;
+  FO.TimeoutSeconds = 0.3;
+  FO.MaxRetries = 0; // verdict is the raw failure, not retry-exhausted
+  FO.HangScenarios = {0};
+  Fleet F = E.make(FO);
+  FleetReport Rep = F.run({cleanScn(0)});
+  ASSERT_EQ(Rep.Outcomes.size(), 1u);
+  EXPECT_EQ(Rep.Outcomes[0].Status, ScenarioStatus::Timeout);
+  EXPECT_EQ(Rep.Outcomes[0].Attempts, 1u);
+  EXPECT_NE(Rep.Outcomes[0].LastFailure.find("watchdog timeout"),
+            std::string::npos)
+      << Rep.Outcomes[0].LastFailure;
+  EXPECT_EQ(Rep.count(ScenarioStatus::Timeout), 1u);
+}
+
+TEST(Fleet, AbortingWorkerIsRetriedAndSucceeds) {
+  FleetEnv E;
+  FleetOptions FO;
+  FO.Jobs = 1;
+  FO.MaxRetries = 2;
+  FO.RetryBackoffSeconds = 0.01;
+  FO.AbortOnceScenarios = {0}; // dies on attempt 1, succeeds on 2
+  Fleet F = E.make(FO);
+  FleetReport Rep = F.run({cleanScn(0)});
+  ASSERT_EQ(Rep.Outcomes.size(), 1u);
+  EXPECT_EQ(Rep.Outcomes[0].Status, ScenarioStatus::Ok);
+  EXPECT_EQ(Rep.Outcomes[0].Attempts, 2u);
+  EXPECT_NE(Rep.Outcomes[0].LastFailure.find("signal"),
+            std::string::npos)
+      << Rep.Outcomes[0].LastFailure;
+  EXPECT_EQ(Rep.Outcomes[0].ResultHash, Rep.GoldenHash);
+}
+
+TEST(Fleet, PersistentCrasherExhaustsTheRetryBudget) {
+  FleetEnv E;
+  FleetOptions FO;
+  FO.Jobs = 1;
+  FO.MaxRetries = 1;
+  FO.RetryBackoffSeconds = 0.01;
+  FO.AbortScenarios = {0}; // dies on every attempt
+  Fleet F = E.make(FO);
+  FleetReport Rep = F.run({cleanScn(0)});
+  ASSERT_EQ(Rep.Outcomes.size(), 1u);
+  EXPECT_EQ(Rep.Outcomes[0].Status, ScenarioStatus::RetryExhausted);
+  EXPECT_EQ(Rep.Outcomes[0].Attempts, 2u); // initial + 1 retry
+  EXPECT_NE(Rep.Outcomes[0].LastFailure.find("signal"),
+            std::string::npos)
+      << Rep.Outcomes[0].LastFailure;
+}
+
+TEST(Fleet, DeterministicSimFailuresAreTerminalWithoutRetry) {
+  // A transport that gives up (partition beyond the retry budget) is a
+  // deterministic property of the scenario: one attempt, classified as
+  // transport-exhausted, never respawned.
+  FleetEnv E;
+  FleetOptions FO;
+  FO.Jobs = 1;
+  FO.MaxRetries = 3;
+  Fleet F = E.make(FO);
+  FleetScenario S = cleanScn(0);
+  S.Faults.PartitionRate = 1.0;
+  S.Faults.PartitionMaxOutage = 30;
+  S.Faults.MaxRetries = 2;
+  FleetReport Rep = F.run({S});
+  ASSERT_EQ(Rep.Outcomes.size(), 1u);
+  EXPECT_EQ(Rep.Outcomes[0].Status, ScenarioStatus::TransportExhausted);
+  EXPECT_EQ(Rep.Outcomes[0].Attempts, 1u);
+  EXPECT_FALSE(Rep.Outcomes[0].LastFailure.empty());
+}
+
+TEST(Fleet, MatrixIsFullyAccountedAndBitExactUnderHostileFaults) {
+  // A 12-scenario matrix mixing every hostile mode, both engines and a
+  // sabotaged worker: every scenario must reach a terminal status and
+  // every survivor must hash identical to the clean sequential run.
+  FleetEnv E;
+  FleetMatrixSpec MS;
+  MS.FaultSeeds = {1, 2, 3};
+  MS.CheckpointIntervals = {0, 4096};
+  MS.ThreadCounts = {1, 2};
+  MS.Base.DropRate = 0.04;
+  MS.Base.CorruptRate = 0.05;
+  MS.Base.PartitionRate = 0.03;
+  MS.Base.SlowLinkRate = 0.3;
+  MS.Base.SlowLinkMaxFactor = 2.0;
+  MS.Base.CrashRate = 5e-4;
+  MS.Base.CrashSeed = 7;
+  std::vector<FleetScenario> Matrix = buildMatrix(MS);
+  ASSERT_EQ(Matrix.size(), 12u);
+  // Cells without checkpointing must have been scrubbed of crashes.
+  for (const FleetScenario &S : Matrix)
+    if (S.CheckpointInterval == 0)
+      EXPECT_EQ(S.Faults.CrashRate, 0.0);
+
+  FleetOptions FO;
+  FO.Jobs = 4;
+  FO.TimeoutSeconds = 60;
+  FO.MaxRetries = 2;
+  FO.RetryBackoffSeconds = 0.01;
+  FO.AbortOnceScenarios = {5}; // one hostile worker in the middle
+  Fleet F = E.make(FO);
+  FleetReport Rep = F.run(Matrix);
+  ASSERT_EQ(Rep.Outcomes.size(), Matrix.size());
+  ASSERT_NE(Rep.GoldenHash, 0u);
+  for (size_t I = 0; I != Rep.Outcomes.size(); ++I) {
+    const ScenarioOutcome &O = Rep.Outcomes[I];
+    EXPECT_EQ(O.Scn.Index, static_cast<unsigned>(I));
+    if (O.ok())
+      EXPECT_EQ(O.ResultHash, Rep.GoldenHash)
+          << "scenario " << O.Scn.Index << " diverged";
+  }
+  EXPECT_EQ(Rep.count(ScenarioStatus::Ok), Matrix.size());
+  // The sabotaged scenario recovered via retry.
+  EXPECT_EQ(Rep.Outcomes[5].Attempts, 2u);
+}
+
+TEST(Fleet, JsonReportAccountsForEveryScenarioAndStatus) {
+  FleetEnv E;
+  FleetOptions FO;
+  FO.Jobs = 2;
+  FO.MaxRetries = 1;
+  FO.RetryBackoffSeconds = 0.01;
+  FO.AbortScenarios = {1};
+  Fleet F = E.make(FO);
+  FleetReport Rep = F.run({cleanScn(0, 1), cleanScn(1, 2)});
+  std::string J = Rep.json();
+  EXPECT_NE(J.find("\"scenarios_total\": 2"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"ok\": 1"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"retry-exhausted\": 1"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"status\": \"ok\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"status\": \"retry-exhausted\""), std::string::npos)
+      << J;
+  EXPECT_NE(J.find("\"hash_match\": true"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"golden_hash\": \"0x"), std::string::npos) << J;
+}
+
+TEST(Fleet, BuildMatrixDefaultsToOneCleanCell) {
+  std::vector<FleetScenario> M = buildMatrix(FleetMatrixSpec());
+  ASSERT_EQ(M.size(), 1u);
+  EXPECT_EQ(M[0].Index, 0u);
+  EXPECT_EQ(M[0].Threads, 1u);
+  EXPECT_EQ(M[0].CheckpointInterval, 0u);
+  EXPECT_FALSE(M[0].Faults.faulty());
+}

@@ -144,6 +144,10 @@ void expectIdentical(const RunOut &A, const RunOut &B,
   EXPECT_EQ(A.R.DroppedPackets, B.R.DroppedPackets) << Tag;
   EXPECT_EQ(A.R.DuplicatesSuppressed, B.R.DuplicatesSuppressed) << Tag;
   EXPECT_EQ(A.R.AcksSent, B.R.AcksSent) << Tag;
+  EXPECT_EQ(A.R.CorruptedPackets, B.R.CorruptedPackets) << Tag;
+  EXPECT_EQ(A.R.NacksSent, B.R.NacksSent) << Tag;
+  EXPECT_EQ(A.R.PartitionDrops, B.R.PartitionDrops) << Tag;
+  EXPECT_EQ(A.R.SlowLinkMessages, B.R.SlowLinkMessages) << Tag;
   ASSERT_EQ(A.R.PhysBusy.size(), B.R.PhysBusy.size()) << Tag;
   for (unsigned I = 0; I != A.R.PhysBusy.size(); ++I)
     EXPECT_EQ(A.R.PhysBusy[I], B.R.PhysBusy[I]) << Tag << " phys " << I;
@@ -268,6 +272,38 @@ TEST(ThreadedSim, LossyTransportStencilMatchesAcrossThreadCounts) {
     RunOut Leg = runLeg(P, CP, Spec, opts(4, Pv, true, T, F), Pv);
     expectIdentical(Base, Leg,
                     "stencil-fault threads=" + std::to_string(T));
+  }
+}
+
+TEST(ThreadedSim, HostileModesMatchAcrossThreadCountsAndSeeds) {
+  // The corruption / transient-partition / straggler-link modes must be
+  // bit-identical across engines: every decision is a pure function of
+  // (seed, channel, seq, attempt) or (seed, src phys, dst phys), never
+  // of scheduler interleaving.
+  Program P = lu();
+  CompileSpec Spec = luSpec(P);
+  CompiledProgram CP = compile(P, Spec);
+  std::map<std::string, IntT> Pv = {{"N", 32}};
+  for (uint64_t Seed : {4u, 5u}) {
+    FaultOptions F;
+    F.Seed = Seed;
+    F.CorruptRate = 0.08;
+    F.PartitionRate = 0.04;
+    F.PartitionMaxOutage = 3;
+    F.SlowLinkRate = 0.3;
+    F.SlowLinkMaxFactor = 3.0;
+    F.DropRate = 0.03; // mixed with the classic loss mode
+    RunOut Base = runLeg(P, CP, Spec, opts(4, Pv, true, 1, F), Pv);
+    ASSERT_TRUE(Base.R.Ok) << "seed " << Seed << ": " << Base.R.Error;
+    ASSERT_GT(Base.R.CorruptedPackets, 0u) << "seed " << Seed;
+    ASSERT_GT(Base.R.PartitionDrops, 0u) << "seed " << Seed;
+    ASSERT_GT(Base.R.SlowLinkMessages, 0u) << "seed " << Seed;
+    for (unsigned T : {2u, 8u}) {
+      RunOut Leg = runLeg(P, CP, Spec, opts(4, Pv, true, T, F), Pv);
+      expectIdentical(Base, Leg,
+                      "lu-hostile seed=" + std::to_string(Seed) +
+                          " threads=" + std::to_string(T));
+    }
   }
 }
 

@@ -39,6 +39,15 @@
 //     --drop-rate R          P(a data/ack transmission is lost), 0..1
 //     --dup-rate R           P(a delivered packet is duplicated), 0..1
 //     --max-delay T          extra delivery delay, uniform in [0,T] secs
+//     --corrupt-rate R       P(a delivered payload fails its checksum
+//                            and is NACKed back for retransmission)
+//     --partition-rate R     P(a packet's first sends fall inside a
+//                            transient partition that heals after a
+//                            seeded number of attempts)
+//     --partition-outage N   longest partition outage, in blackholed
+//                            transmission attempts (default 3)
+//     --slow-link-rate R     P(a directed physical link is a straggler)
+//     --slow-link-factor F   straggler latency multiplier in [1,F]
 //     --retry-timeout T      first retransmission timeout in seconds
 //     --max-retries N        retransmissions before giving up
 //     --slowdown F           per-processor compute slowdown in [1,F]
@@ -48,8 +57,13 @@
 //     --crash-rate R         P(a processor dies before a logical step)
 //     --crash-seed S         deterministic crash-schedule seed
 //     --checkpoint-interval N  logical steps between coordinated
-//                            checkpoints (0 = no checkpoints, crashes
-//                            are unrecoverable)
+//                            checkpoints (omit for no checkpoints;
+//                            crashes are then unrecoverable)
+//
+//   Exit codes (support/ExitCodes.h; stable for scripted callers):
+//     0 success · 2 usage/flag error · 3 parse/compile error
+//     4 simulation deadlock · 5 transport retry exhaustion
+//     6 verification mismatch · 70 internal error
 //
 //===----------------------------------------------------------------------===//
 
@@ -57,6 +71,7 @@
 #include "dataflow/LastWriteTree.h"
 #include "ir/Interp.h"
 #include "sim/Simulator.h"
+#include "support/ExitCodes.h"
 
 #include <cstdio>
 #include <cstring>
@@ -118,12 +133,43 @@ int usage(const char *Argv0) {
                "[--no-proj-heuristics]\n"
                "       [--fault-seed S] [--drop-rate R] [--dup-rate R] "
                "[--max-delay T]\n"
+               "       [--corrupt-rate R] [--partition-rate R] "
+               "[--partition-outage N]\n"
+               "       [--slow-link-rate R] [--slow-link-factor F]\n"
                "       [--retry-timeout T] [--max-retries N] "
                "[--slowdown F] [--reliable]\n"
                "       [--crash-rate R] [--crash-seed S] "
                "[--checkpoint-interval N]\n",
                Argv0);
-  return 2;
+  return ExitUsage;
+}
+
+/// Named range check for a probability flag: rejects anything outside
+/// [0, 1] before the simulator can silently misbehave on it.
+bool badProbability(const char *Flag, double V) {
+  if (V >= 0.0 && V <= 1.0)
+    return false;
+  std::fprintf(stderr,
+               "error: %s must be a probability in [0, 1], got %g\n",
+               Flag, V);
+  return true;
+}
+
+/// Named range check for a nonnegative duration/count flag.
+bool badNonNegative(const char *Flag, double V) {
+  if (V >= 0.0)
+    return false;
+  std::fprintf(stderr, "error: %s must be >= 0, got %g\n", Flag, V);
+  return true;
+}
+
+/// Named range check for a multiplicative factor flag (>= 1).
+bool badFactor(const char *Flag, double V) {
+  if (V >= 1.0)
+    return false;
+  std::fprintf(stderr, "error: %s must be a factor >= 1, got %g\n", Flag,
+               V);
+  return true;
 }
 
 } // namespace
@@ -136,6 +182,8 @@ int main(int Argc, char **Argv) {
   bool PrintSpmd = false, Functional = false, PrintStats = false;
   IntT SimProcs = 0;
   unsigned SimThreads = 1;
+  bool SimulateGiven = false, CheckpointGiven = false;
+  long long MaxRetriesRaw = -1;
   CompilerOptions Opts;
   FaultOptions Faults;
   CheckpointOptions Checkpoint;
@@ -179,9 +227,10 @@ int main(int Argc, char **Argv) {
       Opts.Projection.QuickChecks = false;
       Opts.Projection.OrderHeuristic = false;
     }
-    else if (std::strcmp(A, "--simulate") == 0 && I + 1 < Argc)
+    else if (std::strcmp(A, "--simulate") == 0 && I + 1 < Argc) {
       SimProcs = std::atoll(Argv[++I]);
-    else if (std::strcmp(A, "--sim-threads") == 0 && I + 1 < Argc)
+      SimulateGiven = true;
+    } else if (std::strcmp(A, "--sim-threads") == 0 && I + 1 < Argc)
       SimThreads = static_cast<unsigned>(std::atoll(Argv[++I]));
     else if (std::strcmp(A, "--fault-seed") == 0 && I + 1 < Argc)
       Faults.Seed = std::strtoull(Argv[++I], nullptr, 10);
@@ -191,11 +240,23 @@ int main(int Argc, char **Argv) {
       Faults.DupRate = std::atof(Argv[++I]);
     else if (std::strcmp(A, "--max-delay") == 0 && I + 1 < Argc)
       Faults.MaxDelaySeconds = std::atof(Argv[++I]);
+    else if (std::strcmp(A, "--corrupt-rate") == 0 && I + 1 < Argc)
+      Faults.CorruptRate = std::atof(Argv[++I]);
+    else if (std::strcmp(A, "--partition-rate") == 0 && I + 1 < Argc)
+      Faults.PartitionRate = std::atof(Argv[++I]);
+    else if (std::strcmp(A, "--partition-outage") == 0 && I + 1 < Argc)
+      Faults.PartitionMaxOutage =
+          static_cast<unsigned>(std::strtoull(Argv[++I], nullptr, 10));
+    else if (std::strcmp(A, "--slow-link-rate") == 0 && I + 1 < Argc)
+      Faults.SlowLinkRate = std::atof(Argv[++I]);
+    else if (std::strcmp(A, "--slow-link-factor") == 0 && I + 1 < Argc)
+      Faults.SlowLinkMaxFactor = std::atof(Argv[++I]);
     else if (std::strcmp(A, "--retry-timeout") == 0 && I + 1 < Argc)
       Faults.RetryTimeoutSeconds = std::atof(Argv[++I]);
-    else if (std::strcmp(A, "--max-retries") == 0 && I + 1 < Argc)
-      Faults.MaxRetries = static_cast<unsigned>(std::atoll(Argv[++I]));
-    else if (std::strcmp(A, "--slowdown") == 0 && I + 1 < Argc)
+    else if (std::strcmp(A, "--max-retries") == 0 && I + 1 < Argc) {
+      MaxRetriesRaw = std::atoll(Argv[++I]);
+      Faults.MaxRetries = static_cast<unsigned>(MaxRetriesRaw);
+    } else if (std::strcmp(A, "--slowdown") == 0 && I + 1 < Argc)
       Faults.MaxSlowdown = std::atof(Argv[++I]);
     else if (std::strcmp(A, "--reliable") == 0)
       Faults.AlwaysReliable = true;
@@ -203,14 +264,15 @@ int main(int Argc, char **Argv) {
       Faults.CrashRate = std::atof(Argv[++I]);
     else if (std::strcmp(A, "--crash-seed") == 0 && I + 1 < Argc)
       Faults.CrashSeed = std::strtoull(Argv[++I], nullptr, 10);
-    else if (std::strcmp(A, "--checkpoint-interval") == 0 && I + 1 < Argc)
-      Checkpoint.IntervalSteps =
-          std::strtoull(Argv[++I], nullptr, 10);
-    else if (std::strcmp(A, "--param") == 0 && I + 1 < Argc) {
+    else if (std::strcmp(A, "--checkpoint-interval") == 0 &&
+             I + 1 < Argc) {
+      Checkpoint.IntervalSteps = std::strtoull(Argv[++I], nullptr, 10);
+      CheckpointGiven = true;
+    } else if (std::strcmp(A, "--param") == 0 && I + 1 < Argc) {
       const char *Eq = std::strchr(Argv[++I], '=');
       if (!Eq) {
         std::fprintf(stderr, "error: --param expects NAME=VALUE\n");
-        return 2;
+        return ExitUsage;
       }
       Params[std::string(Argv[I], Eq - Argv[I])] = std::atoll(Eq + 1);
     } else if (A[0] == '-') {
@@ -218,16 +280,21 @@ int main(int Argc, char **Argv) {
       // `I + 1 < Argc` guard above and lands here; name the real
       // problem instead of claiming the option is unknown.
       static const char *const ValueFlags[] = {
-          "--simulate",     "--sim-threads",   "--node-budget",
-          "--fault-seed",   "--drop-rate",     "--dup-rate",
-          "--max-delay",    "--retry-timeout", "--max-retries",
-          "--slowdown",     "--crash-rate",    "--crash-seed",
-          "--checkpoint-interval",             "--param"};
+          "--simulate",       "--sim-threads",
+          "--node-budget",    "--fault-seed",
+          "--drop-rate",      "--dup-rate",
+          "--max-delay",      "--corrupt-rate",
+          "--partition-rate", "--partition-outage",
+          "--slow-link-rate", "--slow-link-factor",
+          "--retry-timeout",  "--max-retries",
+          "--slowdown",       "--crash-rate",
+          "--crash-seed",     "--checkpoint-interval",
+          "--param"};
       for (const char *VF : ValueFlags)
         if (std::strcmp(A, VF) == 0) {
           std::fprintf(stderr, "error: option '%s' requires a value\n",
                        A);
-          return 2;
+          return ExitUsage;
         }
       std::fprintf(stderr, "error: unknown option '%s'\n", A);
       return usage(Argv[0]);
@@ -239,13 +306,46 @@ int main(int Argc, char **Argv) {
   }
   if (!File)
     return usage(Argv[0]);
+
+  // Range-check every fault/sim knob up front with a named error: an
+  // out-of-range probability would otherwise just skew the schedule
+  // (e.g. a rate of 1.5 behaves as "always"), and a negative count
+  // would wrap through the unsigned conversion.
+  if (badProbability("--drop-rate", Faults.DropRate) ||
+      badProbability("--dup-rate", Faults.DupRate) ||
+      badProbability("--corrupt-rate", Faults.CorruptRate) ||
+      badProbability("--partition-rate", Faults.PartitionRate) ||
+      badProbability("--slow-link-rate", Faults.SlowLinkRate) ||
+      badProbability("--crash-rate", Faults.CrashRate) ||
+      badNonNegative("--max-delay", Faults.MaxDelaySeconds) ||
+      badNonNegative("--retry-timeout", Faults.RetryTimeoutSeconds) ||
+      badFactor("--slowdown", Faults.MaxSlowdown) ||
+      badFactor("--slow-link-factor", Faults.SlowLinkMaxFactor))
+    return ExitUsage;
+  if (MaxRetriesRaw != -1 &&
+      badNonNegative("--max-retries", static_cast<double>(MaxRetriesRaw)))
+    return ExitUsage;
+  if (SimulateGiven && SimProcs < 1) {
+    std::fprintf(stderr,
+                 "error: --simulate needs a processor count >= 1, got "
+                 "%lld\n",
+                 static_cast<long long>(SimProcs));
+    return ExitUsage;
+  }
+  if (CheckpointGiven && Checkpoint.IntervalSteps == 0) {
+    std::fprintf(stderr,
+                 "error: --checkpoint-interval must be >= 1 logical "
+                 "step; omit the flag to disable checkpointing\n");
+    return ExitUsage;
+  }
+
   if (!PrintProgram && !PrintLWT && !PrintComm && !SimProcs)
     PrintSpmd = true;
 
   std::ifstream In(File);
   if (!In) {
     std::fprintf(stderr, "error: cannot open '%s'\n", File);
-    return 1;
+    return ExitCompileError;
   }
   std::ostringstream Buf;
   Buf << In.rdbuf();
@@ -260,7 +360,7 @@ int main(int Argc, char **Argv) {
                    SP.Error.c_str());
     else
       std::fprintf(stderr, "%s: error: %s\n", File, SP.Error.c_str());
-    return 1;
+    return ExitCompileError;
   }
   Program &P = *SP.Prog;
   for (const auto &[Name, V] : SP.ParamDefaults)
@@ -280,7 +380,7 @@ int main(int Argc, char **Argv) {
   if (!CP.Ok) {
     std::fprintf(stderr, "%s: error: %s\n", File,
                  CP.ErrorMessage.c_str());
-    return 1;
+    return ExitCompileError;
   }
   if (!CP.Diagnostics.empty())
     std::fprintf(stderr, "%s", CP.Diagnostics.c_str());
@@ -305,7 +405,7 @@ int main(int Argc, char **Argv) {
                      "error: parameter '%s' needs --param %s=VALUE\n",
                      P.space().name(I).c_str(),
                      P.space().name(I).c_str());
-        return 1;
+        return ExitUsage;
       }
     }
     SimOptions SO;
@@ -320,7 +420,11 @@ int main(int Argc, char **Argv) {
     SimResult R = Sim.run();
     if (!R.Ok) {
       std::fprintf(stderr, "simulation failed: %s\n", R.Error.c_str());
-      return 1;
+      // Retry exhaustion (hostile network beat the retry budget) is a
+      // distinct, expected failure class; everything else that stalls
+      // the schedule reports as a deadlock.
+      return R.Diag.RetryExhausted.empty() ? ExitDeadlock
+                                           : ExitRetryExhausted;
     }
     std::printf("simulated %lld processors: makespan %.6f s, %llu "
                 "messages, %llu words, %llu flops\n",
@@ -342,6 +446,14 @@ int main(int Argc, char **Argv) {
                   static_cast<unsigned long long>(R.DroppedPackets),
                   static_cast<unsigned long long>(R.DuplicatesSuppressed),
                   static_cast<unsigned long long>(R.AcksSent));
+    if (Faults.CorruptRate > 0 || Faults.PartitionRate > 0 ||
+        Faults.slowLinks())
+      std::printf("hostile: %llu corrupted (%llu nacks), %llu partition "
+                  "drops, %llu slow-link messages\n",
+                  static_cast<unsigned long long>(R.CorruptedPackets),
+                  static_cast<unsigned long long>(R.NacksSent),
+                  static_cast<unsigned long long>(R.PartitionDrops),
+                  static_cast<unsigned long long>(R.SlowLinkMessages));
     if (Faults.CrashRate > 0 || Checkpoint.enabled()) {
       std::printf(
           "recovery: %llu checkpoints (%llu bytes), %llu crashes, %llu "
@@ -395,8 +507,8 @@ int main(int Argc, char **Argv) {
       std::printf("verification: %u checked, %u missing, %u wrong\n",
                   Checked, Missing, Wrong);
       if (Missing || Wrong)
-        return 1;
+        return ExitVerifyMismatch;
     }
   }
-  return 0;
+  return ExitSuccess;
 }

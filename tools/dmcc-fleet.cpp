@@ -1,0 +1,360 @@
+//===- tools/dmcc-fleet.cpp - Scenario fleet orchestrator ------*- C++ -*-===//
+//
+// Compile a program once, then fan a scenario matrix (fault seed x
+// crash seed x checkpoint interval x engine/thread count) across a
+// fork-based worker pool with watchdog timeouts, crash detection and
+// bounded retry with exponential backoff (DESIGN.md §12). Every
+// surviving scenario's final arrays are checked bit-identical to the
+// clean sequential run; the aggregated JSON report accounts for every
+// scenario with a terminal status.
+//
+//   dmcc-fleet FILE [options]
+//     --procs P              simulated processors per scenario (def 8)
+//     --param NAME=VALUE     parameter binding (repeatable)
+//
+//   Matrix axes (cross product = scenario count):
+//     --fault-seeds N        fault-schedule seeds 1..N       (def 4)
+//     --crash-seeds N        crash-schedule seeds 1..N       (def 1)
+//     --checkpoint-intervals LIST
+//                            comma-separated logical-step intervals;
+//                            0 = no checkpoints (crash rate is zeroed
+//                            in those cells)                 (def 0,64)
+//     --threads LIST         comma-separated engine thread counts
+//                            (1 = sequential)                (def 1,2)
+//
+//   Base fault rates applied to every scenario:
+//     --drop-rate R --dup-rate R --corrupt-rate R --partition-rate R
+//     --partition-outage N --slow-link-rate R --slow-link-factor F
+//     --crash-rate R --max-retries N --retry-timeout T
+//
+//   Supervision:
+//     --jobs N               worker shards (def 4)
+//     --timeout T            per-scenario watchdog seconds (def 30)
+//     --fleet-retries N      respawns after a timeout/crash (def 2)
+//     --backoff T            first respawn delay, doubles (def 0.05)
+//     --report PATH          write the JSON report here (def stdout)
+//
+//   Sabotage hooks (supervision tests; repeatable):
+//     --hang-scenario I      worker for scenario I hangs forever
+//     --abort-scenario I     worker for scenario I aborts every attempt
+//     --abort-once-scenario I  worker aborts on the first attempt only
+//
+//   Exit codes (support/ExitCodes.h): 0 when the matrix is fully
+//   accounted for and no scenario mismatched the clean run; 6 on any
+//   mismatch; 2 usage; 3 parse/compile error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SpecParser.h"
+#include "sim/Fleet.h"
+#include "support/ExitCodes.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace dmcc;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s FILE [--procs P] [--param N=V]...\n"
+      "       [--fault-seeds N] [--crash-seeds N]\n"
+      "       [--checkpoint-intervals LIST] [--threads LIST]\n"
+      "       [--drop-rate R] [--dup-rate R] [--corrupt-rate R]\n"
+      "       [--partition-rate R] [--partition-outage N]\n"
+      "       [--slow-link-rate R] [--slow-link-factor F]\n"
+      "       [--crash-rate R] [--max-retries N] [--retry-timeout T]\n"
+      "       [--jobs N] [--timeout T] [--fleet-retries N] "
+      "[--backoff T]\n"
+      "       [--report PATH] [--hang-scenario I] [--abort-scenario I]\n"
+      "       [--abort-once-scenario I]\n",
+      Argv0);
+  return ExitUsage;
+}
+
+/// Parses a comma-separated list of nonnegative integers.
+bool parseList(const char *Flag, const char *Arg,
+               std::vector<uint64_t> &Out) {
+  Out.clear();
+  const char *C = Arg;
+  while (*C) {
+    char *End = nullptr;
+    uint64_t V = std::strtoull(C, &End, 10);
+    if (End == C) {
+      std::fprintf(stderr,
+                   "error: %s expects a comma-separated integer list, "
+                   "got '%s'\n",
+                   Flag, Arg);
+      return false;
+    }
+    Out.push_back(V);
+    C = End;
+    if (*C == ',')
+      ++C;
+    else if (*C) {
+      std::fprintf(stderr,
+                   "error: %s expects a comma-separated integer list, "
+                   "got '%s'\n",
+                   Flag, Arg);
+      return false;
+    }
+  }
+  if (Out.empty()) {
+    std::fprintf(stderr, "error: %s got an empty list\n", Flag);
+    return false;
+  }
+  return true;
+}
+
+bool badProbability(const char *Flag, double V) {
+  if (V >= 0.0 && V <= 1.0)
+    return false;
+  std::fprintf(stderr,
+               "error: %s must be a probability in [0, 1], got %g\n",
+               Flag, V);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage(Argv[0]);
+  const char *File = nullptr;
+  const char *ReportPath = nullptr;
+  IntT Procs = 8;
+  FleetMatrixSpec MS;
+  uint64_t NumFaultSeeds = 4, NumCrashSeeds = 1;
+  MS.CheckpointIntervals = {0, 64};
+  MS.ThreadCounts = {1, 2};
+  FleetOptions FO;
+  std::map<std::string, IntT> Params;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    auto Value = [&](const char *Flag) -> const char * {
+      if (I + 1 < Argc)
+        return Argv[++I];
+      std::fprintf(stderr, "error: option '%s' requires a value\n",
+                   Flag);
+      return nullptr;
+    };
+    const char *V;
+    if (std::strcmp(A, "--procs") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      Procs = std::atoll(V);
+    } else if (std::strcmp(A, "--fault-seeds") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      NumFaultSeeds = std::strtoull(V, nullptr, 10);
+    } else if (std::strcmp(A, "--crash-seeds") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      NumCrashSeeds = std::strtoull(V, nullptr, 10);
+    } else if (std::strcmp(A, "--checkpoint-intervals") == 0) {
+      if (!(V = Value(A)) || !parseList(A, V, MS.CheckpointIntervals))
+        return ExitUsage;
+    } else if (std::strcmp(A, "--threads") == 0) {
+      std::vector<uint64_t> L;
+      if (!(V = Value(A)) || !parseList(A, V, L))
+        return ExitUsage;
+      MS.ThreadCounts.clear();
+      for (uint64_t T : L)
+        MS.ThreadCounts.push_back(static_cast<unsigned>(T ? T : 1));
+    } else if (std::strcmp(A, "--drop-rate") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      MS.Base.DropRate = std::atof(V);
+    } else if (std::strcmp(A, "--dup-rate") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      MS.Base.DupRate = std::atof(V);
+    } else if (std::strcmp(A, "--corrupt-rate") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      MS.Base.CorruptRate = std::atof(V);
+    } else if (std::strcmp(A, "--partition-rate") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      MS.Base.PartitionRate = std::atof(V);
+    } else if (std::strcmp(A, "--partition-outage") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      MS.Base.PartitionMaxOutage =
+          static_cast<unsigned>(std::strtoull(V, nullptr, 10));
+    } else if (std::strcmp(A, "--slow-link-rate") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      MS.Base.SlowLinkRate = std::atof(V);
+    } else if (std::strcmp(A, "--slow-link-factor") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      MS.Base.SlowLinkMaxFactor = std::atof(V);
+    } else if (std::strcmp(A, "--crash-rate") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      MS.Base.CrashRate = std::atof(V);
+    } else if (std::strcmp(A, "--max-retries") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      MS.Base.MaxRetries =
+          static_cast<unsigned>(std::strtoull(V, nullptr, 10));
+    } else if (std::strcmp(A, "--retry-timeout") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      MS.Base.RetryTimeoutSeconds = std::atof(V);
+    } else if (std::strcmp(A, "--jobs") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      FO.Jobs = static_cast<unsigned>(std::strtoull(V, nullptr, 10));
+    } else if (std::strcmp(A, "--timeout") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      FO.TimeoutSeconds = std::atof(V);
+    } else if (std::strcmp(A, "--fleet-retries") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      FO.MaxRetries =
+          static_cast<unsigned>(std::strtoull(V, nullptr, 10));
+    } else if (std::strcmp(A, "--backoff") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      FO.RetryBackoffSeconds = std::atof(V);
+    } else if (std::strcmp(A, "--report") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      ReportPath = V;
+    } else if (std::strcmp(A, "--hang-scenario") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      FO.HangScenarios.insert(
+          static_cast<unsigned>(std::strtoull(V, nullptr, 10)));
+    } else if (std::strcmp(A, "--abort-scenario") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      FO.AbortScenarios.insert(
+          static_cast<unsigned>(std::strtoull(V, nullptr, 10)));
+    } else if (std::strcmp(A, "--abort-once-scenario") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      FO.AbortOnceScenarios.insert(
+          static_cast<unsigned>(std::strtoull(V, nullptr, 10)));
+    } else if (std::strcmp(A, "--param") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      const char *Eq = std::strchr(V, '=');
+      if (!Eq) {
+        std::fprintf(stderr, "error: --param expects NAME=VALUE\n");
+        return ExitUsage;
+      }
+      Params[std::string(V, Eq - V)] = std::atoll(Eq + 1);
+    } else if (A[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", A);
+      return usage(Argv[0]);
+    } else if (!File) {
+      File = A;
+    } else {
+      return usage(Argv[0]);
+    }
+  }
+  if (!File)
+    return usage(Argv[0]);
+  if (badProbability("--drop-rate", MS.Base.DropRate) ||
+      badProbability("--dup-rate", MS.Base.DupRate) ||
+      badProbability("--corrupt-rate", MS.Base.CorruptRate) ||
+      badProbability("--partition-rate", MS.Base.PartitionRate) ||
+      badProbability("--slow-link-rate", MS.Base.SlowLinkRate) ||
+      badProbability("--crash-rate", MS.Base.CrashRate))
+    return ExitUsage;
+  if (Procs < 1) {
+    std::fprintf(stderr, "error: --procs needs a count >= 1\n");
+    return ExitUsage;
+  }
+  if (NumFaultSeeds == 0 || NumCrashSeeds == 0) {
+    std::fprintf(stderr,
+                 "error: --fault-seeds/--crash-seeds need >= 1 seed\n");
+    return ExitUsage;
+  }
+  for (uint64_t S = 1; S <= NumFaultSeeds; ++S)
+    MS.FaultSeeds.push_back(S);
+  for (uint64_t S = 1; S <= NumCrashSeeds; ++S)
+    MS.CrashSeeds.push_back(S);
+
+  std::ifstream In(File);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", File);
+    return ExitCompileError;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  SpecParseOutput SP = parseWithSpec(Buf.str());
+  if (!SP.ok()) {
+    std::fprintf(stderr, "%s: error: %s\n", File, SP.Error.c_str());
+    return ExitCompileError;
+  }
+  Program &P = *SP.Prog;
+  for (const auto &[Name, Val] : SP.ParamDefaults)
+    Params.emplace(Name, Val);
+  for (unsigned I = 0; I != P.space().size(); ++I) {
+    if (P.space().kind(I) != VarKind::Param)
+      continue;
+    if (!Params.count(P.space().name(I))) {
+      std::fprintf(stderr,
+                   "error: parameter '%s' needs --param %s=VALUE\n",
+                   P.space().name(I).c_str(), P.space().name(I).c_str());
+      return ExitUsage;
+    }
+  }
+
+  // Compile once; every worker reuses the compiled program.
+  CompiledProgram CP = compile(P, SP.Spec, CompilerOptions());
+  if (!CP.Ok) {
+    std::fprintf(stderr, "%s: error: %s\n", File,
+                 CP.ErrorMessage.c_str());
+    return ExitCompileError;
+  }
+
+  std::vector<FleetScenario> Matrix = buildMatrix(MS);
+  std::fprintf(stderr,
+               "dmcc-fleet: %zu scenarios across %u shards (timeout "
+               "%.1f s, %u retries)\n",
+               Matrix.size(), FO.Jobs ? FO.Jobs : 1, FO.TimeoutSeconds,
+               FO.MaxRetries);
+
+  Fleet F(P, CP, SP.Spec, Params, Procs, FO);
+  FleetReport Rep = F.run(Matrix);
+
+  std::string Json = Rep.json();
+  if (ReportPath) {
+    std::ofstream Out(ReportPath);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", ReportPath);
+      return ExitUsage;
+    }
+    Out << Json;
+  } else {
+    std::fputs(Json.c_str(), stdout);
+  }
+
+  std::fprintf(
+      stderr,
+      "dmcc-fleet: %u ok, %u mismatch, %u deadlock, %u "
+      "transport-exhausted, %u timeout, %u worker-crash, %u "
+      "retry-exhausted in %.2f s\n",
+      Rep.count(ScenarioStatus::Ok), Rep.count(ScenarioStatus::Mismatch),
+      Rep.count(ScenarioStatus::Deadlock),
+      Rep.count(ScenarioStatus::TransportExhausted),
+      Rep.count(ScenarioStatus::Timeout),
+      Rep.count(ScenarioStatus::WorkerCrash),
+      Rep.count(ScenarioStatus::RetryExhausted), Rep.ElapsedSeconds);
+
+  // Any mismatch against the clean sequential run is a correctness
+  // failure of dmcc itself, not of the hostile scenario.
+  return Rep.count(ScenarioStatus::Mismatch) ? ExitVerifyMismatch
+                                             : ExitSuccess;
+}
