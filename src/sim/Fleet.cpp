@@ -2,6 +2,8 @@
 
 #include "sim/Fleet.h"
 
+#include "support/StableStore.h"
+
 #include <chrono>
 #include <cinttypes>
 #include <csignal>
@@ -104,6 +106,15 @@ struct WireResult {
 };
 
 constexpr uint32_t WireMagic = 0x464C5452; // "FLTR"
+
+/// Resume-journal frame types (DESIGN.md §13) and payload version.
+constexpr uint32_t JrnlMetaType = 0x464C4D54;    // "FLMT"
+constexpr uint32_t JrnlStartType = 0x464C5354;   // "FLST"
+constexpr uint32_t JrnlVerdictType = 0x464C5644; // "FLVD"
+constexpr uint32_t JournalVersion = 1;
+
+/// Number of ScenarioStatus values, for validating journaled verdicts.
+constexpr uint32_t NumScenarioStatuses = 7;
 
 /// Appends minimally-escaped JSON string content.
 void appendEscaped(std::string &Out, const std::string &S) {
@@ -284,9 +295,97 @@ FleetReport Fleet::run(const std::vector<FleetScenario> &Matrix) {
   for (size_t I = 0; I != Matrix.size(); ++I)
     Rep.Outcomes[I].Scn = Matrix[I];
 
+  // Resume journal (DESIGN.md §13): replay verdicts already on disk,
+  // then open for appending with any torn tail cut off.
+  stable::JournalWriter Jrnl;
+  std::vector<char> Done(Matrix.size(), 0);
+  bool MetaOnDisk = false;
+  if (!FO.JournalPath.empty()) {
+    uint64_t TruncateTo = 0;
+    if (FO.Resume) {
+      stable::ReadFramesResult RF = stable::readFrames(FO.JournalPath);
+      // A missing/unreadable journal resumes as a fresh sweep — the
+      // kill may have landed before the journal was even created.
+      if (RF.Error.empty()) {
+        TruncateTo = RF.ValidBytes;
+        for (const stable::Frame &F : RF.Frames) {
+          stable::ByteReader Rd(F.Payload);
+          if (F.Type == JrnlMetaType) {
+            uint32_t Ver = Rd.u32();
+            uint64_t Count = Rd.u64(), Golden = Rd.u64();
+            if (Ver != JournalVersion || Count != Matrix.size() ||
+                Golden != Rep.GoldenHash || !Rd.ok()) {
+              Rep.Error = "resume journal does not belong to this "
+                          "matrix (scenario count, golden hash or "
+                          "version differ): " +
+                          FO.JournalPath;
+              return Rep;
+            }
+            MetaOnDisk = true;
+          } else if (F.Type == JrnlVerdictType) {
+            uint32_t Index = Rd.u32(), Status = Rd.u32(),
+                     Attempts = Rd.u32();
+            double Makespan = Rd.f64();
+            uint64_t Retrans = Rd.u64(), Crashes = Rd.u64(),
+                     Rollbacks = Rd.u64(), Hash = Rd.u64();
+            std::string LastFailure = Rd.str();
+            // Verdicts are trusted only under an intact, matching meta
+            // record; anything malformed is ignored rather than fatal.
+            if (!MetaOnDisk || !Rd.ok() || Index >= Matrix.size() ||
+                Status >= NumScenarioStatuses)
+              continue;
+            ScenarioOutcome &O = Rep.Outcomes[Index];
+            O.Status = static_cast<ScenarioStatus>(Status);
+            O.Attempts = Attempts;
+            O.MakespanSeconds = Makespan;
+            O.Retransmissions = Retrans;
+            O.Crashes = Crashes;
+            O.Rollbacks = Rollbacks;
+            O.ResultHash = Hash;
+            O.LastFailure = std::move(LastFailure);
+            if (!Done[Index]) {
+              Done[Index] = 1;
+              ++Rep.ResumedFromJournal;
+            }
+          }
+          // Start records carry no verdict: a started-but-unverdicted
+          // scenario was in flight at the kill and is simply re-queued.
+        }
+      }
+    }
+    std::string Err;
+    if (!Jrnl.open(FO.JournalPath, TruncateTo, Err)) {
+      Rep.Error = "resume journal: " + Err;
+      Rep.ErrorIsIo = true;
+      return Rep;
+    }
+  }
+  // Any journal I/O failure after this point aborts the sweep: a fleet
+  // asked to be durable must not silently run without its journal.
+  auto JournalAppend = [&](uint32_t Type,
+                           const stable::ByteWriter &W) -> bool {
+    if (!Jrnl.isOpen())
+      return true;
+    std::string Err;
+    if (Jrnl.append(Type, W.bytes(), Err))
+      return true;
+    Rep.Error = "resume journal: " + Err;
+    Rep.ErrorIsIo = true;
+    return false;
+  };
+  if (Jrnl.isOpen() && !MetaOnDisk) {
+    stable::ByteWriter W;
+    W.u32(JournalVersion);
+    W.u64(Matrix.size());
+    W.u64(Rep.GoldenHash);
+    if (!JournalAppend(JrnlMetaType, W))
+      return Rep;
+  }
+
   std::vector<Shard> Shards(FO.Jobs);
   for (size_t I = 0; I != Matrix.size(); ++I)
-    Shards[I % FO.Jobs].Queue.push_back(static_cast<unsigned>(I));
+    if (!Done[I])
+      Shards[I % FO.Jobs].Queue.push_back(static_cast<unsigned>(I));
 
   // SIGPIPE would kill the orchestrator if a child's pipe went away
   // mid-write; the supervisor only reads, but be explicit.
@@ -349,7 +448,8 @@ FleetReport Fleet::run(const std::vector<FleetScenario> &Matrix) {
                                          FO.TimeoutSeconds));
   };
 
-  unsigned Remaining = static_cast<unsigned>(Matrix.size());
+  unsigned Remaining =
+      static_cast<unsigned>(Matrix.size()) - Rep.ResumedFromJournal;
 
   // Terminal bookkeeping for the shard's current scenario.
   auto Finish = [&](Shard &Sh, ScenarioOutcome O) {
@@ -363,6 +463,20 @@ FleetReport Fleet::run(const std::vector<FleetScenario> &Matrix) {
     Sh.HasCur = false;
     Sh.Attempt = 0;
     --Remaining;
+    // The verdict hits stable storage before the scenario is considered
+    // done, so a resumed sweep never re-runs a verified scenario.
+    const ScenarioOutcome &Fin = Rep.Outcomes[Sh.Cur];
+    stable::ByteWriter W;
+    W.u32(Fin.Scn.Index);
+    W.u32(static_cast<uint32_t>(Fin.Status));
+    W.u32(Fin.Attempts);
+    W.f64(Fin.MakespanSeconds);
+    W.u64(Fin.Retransmissions);
+    W.u64(Fin.Crashes);
+    W.u64(Fin.Rollbacks);
+    W.u64(Fin.ResultHash);
+    W.str(Fin.LastFailure);
+    (void)JournalAppend(JrnlVerdictType, W);
   };
 
   // A retryable failure (timeout / worker crash): respawn with
@@ -469,6 +583,12 @@ FleetReport Fleet::run(const std::vector<FleetScenario> &Matrix) {
           Sh.HasCur = true;
           Sh.Attempt = 0;
           Sh.NextSpawn = Clock::now();
+          // Journal the take-up: a kill between here and the verdict
+          // leaves a started-but-unverdicted record, which resume
+          // re-queues.
+          stable::ByteWriter W;
+          W.u32(Matrix[Sh.Cur].Index);
+          (void)JournalAppend(JrnlStartType, W);
         }
         if (Clock::now() >= Sh.NextSpawn) {
           Spawn(Sh);
@@ -487,6 +607,22 @@ FleetReport Fleet::run(const std::vector<FleetScenario> &Matrix) {
         Classify(Sh, WaitStatus, /*Timedout=*/true);
         Progress = true;
       }
+    }
+    if (!Rep.Error.empty()) {
+      // A journal append failed: the durability contract is broken, so
+      // stop the sweep instead of running on without it. Reap every
+      // outstanding child first.
+      for (Shard &Sh : Shards)
+        if (Sh.Pid > 0) {
+          kill(Sh.Pid, SIGKILL);
+          int WS = 0;
+          waitpid(Sh.Pid, &WS, 0);
+          if (Sh.Fd >= 0)
+            close(Sh.Fd);
+          Sh.Pid = -1;
+          Sh.Fd = -1;
+        }
+      break;
     }
     if (!Progress && Remaining) {
       struct timespec TS = {0, 2 * 1000 * 1000}; // 2 ms sweep

@@ -94,6 +94,21 @@ struct FleetOptions {
   std::set<unsigned> HangScenarios;
   std::set<unsigned> AbortScenarios;
   std::set<unsigned> AbortOnceScenarios;
+  /// Append-only resume journal (DESIGN.md §13). When non-empty, run()
+  /// records one CRC-framed record per supervision event at this path:
+  /// a meta record binding the journal to this matrix (scenario count +
+  /// golden hash), a start record when a scenario is first taken up,
+  /// and a verdict record when it reaches a terminal status — each
+  /// fdatasync'd, so a SIGKILL of the orchestrator loses at most one
+  /// torn trailing record (discarded on resume).
+  std::string JournalPath;
+  /// Replay JournalPath before running: scenarios with a journaled
+  /// verdict are restored into the report and never re-run; scenarios
+  /// only started (in flight at the kill) are re-queued. The resumed
+  /// report is identical to an uninterrupted sweep. A missing or empty
+  /// journal resumes as a fresh sweep, so a kill/restart loop can pass
+  /// Resume unconditionally.
+  bool Resume = false;
 };
 
 /// Aggregated fleet result: one outcome per scenario (matrix order),
@@ -103,6 +118,14 @@ struct FleetReport {
   uint64_t GoldenHash = 0;   ///< clean sequential run's final-array hash
   double ElapsedSeconds = 0; ///< orchestrator wall-clock
   unsigned Jobs = 0;
+  /// Scenarios whose verdicts were restored from the resume journal
+  /// (FleetOptions::Resume) instead of being re-run.
+  unsigned ResumedFromJournal = 0;
+  /// Non-empty when the sweep aborted before completion: the journal
+  /// could not be opened/appended (ErrorIsIo) or does not belong to
+  /// this matrix (incompatible meta record; a usage error).
+  std::string Error;
+  bool ErrorIsIo = false;
 
   unsigned count(ScenarioStatus S) const;
   /// True when every scenario reached a terminal status (always holds

@@ -3,8 +3,10 @@
 #include "sim/Simulator.h"
 
 #include "ir/Interp.h"
+#include "support/StableStore.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <condition_variable>
 #include <limits>
 #include <mutex>
@@ -1429,9 +1431,15 @@ SimResult Simulator::run() {
     TE = std::make_unique<ThreadEngine>(*this, Workers);
   if (Recovery) {
     // Free initial checkpoint: the staged input state itself is the
-    // rollback line until the first interval elapses.
+    // rollback line until the first interval elapses. In durable-resume
+    // mode the newest intact on-disk image replaces it — the restored
+    // line already exists on disk, so no fresh initial snapshot is
+    // taken and replay continues bit-identically to the uninterrupted
+    // run. With no usable image the run starts (and persists) fresh.
     NextCheckpointEvents = Opts.Checkpoint.IntervalSteps;
-    takeCheckpoint(R, /*Initial=*/true);
+    if (!(Opts.Checkpoint.Resume && Opts.Checkpoint.durable() &&
+          resumeFromDurable(R)))
+      takeCheckpoint(R, /*Initial=*/true);
   }
   while (true) {
     RoundFlags F = TE ? TE->runRound() : runRoundSequential();
@@ -1593,6 +1601,12 @@ void Simulator::takeCheckpoint(SimResult &R, bool Initial) {
   Stable = std::move(CK);
   NextCheckpointEvents = Events + Opts.Checkpoint.IntervalSteps;
   ReplayBaseEvents = Events;
+
+  // Durable mode (DESIGN.md §13): the line just drawn also goes to the
+  // host filesystem, so a SIGKILL of this process loses at most the
+  // work since this checkpoint.
+  if (Opts.Checkpoint.durable())
+    persistDurable(R);
 }
 
 void Simulator::restoreCheckpoint(SimResult &R) {
@@ -1682,6 +1696,514 @@ void Simulator::restoreCheckpoint(SimResult &R) {
   }
   ReplayBaseEvents = Events;
   NextCheckpointEvents = Events + Opts.Checkpoint.IntervalSteps;
+}
+
+//===----------------------------------------------------------------------===//
+// Durable stable store (DESIGN.md §13)
+//===----------------------------------------------------------------------===//
+//
+// A durable image is one stable-store frame (type "CKPT") whose payload
+// is a versioned, self-validating serialization of the FULL machine
+// state at a checkpoint line — not just the logical Checkpoint contents:
+// clocks, busy buckets, NIC state, monotonic counters, crash history and
+// the partial SimResult accumulators all ride along, because a resumed
+// process must report telemetry bit-identical to the uninterrupted run.
+// Doubles travel as IEEE-754 bit patterns; call-stack frames are encoded
+// as (is-loop, position, loop cursor/bound) paths and re-anchored onto
+// the resumed process's deterministically recompiled SPMD tree.
+//
+// What is deliberately NOT serialized:
+//  - Message::SenderId/PushRound: at a checkpoint line every queued
+//    message was pushed in a strictly earlier round, so both are
+//    normalized to 0, which the threaded engine's wavefront rule treats
+//    as always-visible — exactly the visibility those messages had.
+//  - SlowFactor and the fault schedule: recomputed from the seed.
+//  - NextCheckpointEvents/ReplayBaseEvents: recomputed from Events.
+
+namespace {
+
+using stable::ByteReader;
+using stable::ByteWriter;
+
+/// Frame type tag of a checkpoint image ("CKPT").
+constexpr uint32_t CkptFrameType = 0x434B5054u;
+/// Bumped whenever the image payload layout changes; a mismatch makes
+/// the resume scan skip the file as incompatible.
+constexpr uint32_t CkptImageVersion = 1;
+
+void writeI64Vec(ByteWriter &W, const std::vector<IntT> &V) {
+  W.u64(V.size());
+  for (IntT X : V)
+    W.i64(X);
+}
+
+bool readI64Vec(ByteReader &Rd, std::vector<IntT> &V) {
+  uint64_t N = Rd.u64();
+  if (!Rd.ok() || N > Rd.remaining() / 8)
+    return false;
+  V.resize(N);
+  for (uint64_t I = 0; I != N; ++I)
+    V[I] = Rd.i64();
+  return Rd.ok();
+}
+
+void writeF64Vec(ByteWriter &W, const std::vector<double> &V) {
+  W.u64(V.size());
+  for (double X : V)
+    W.f64(X);
+}
+
+bool readF64Vec(ByteReader &Rd, std::vector<double> &V) {
+  uint64_t N = Rd.u64();
+  if (!Rd.ok() || N > Rd.remaining() / 8)
+    return false;
+  V.resize(N);
+  for (uint64_t I = 0; I != N; ++I)
+    V[I] = Rd.f64();
+  return Rd.ok();
+}
+
+void writeFailure(ByteWriter &W, const TransportFailure &F) {
+  W.u32(F.CommId);
+  writeI64Vec(W, F.Src);
+  writeI64Vec(W, F.Dst);
+  W.u64(F.Seq);
+  W.u32(F.Attempts);
+}
+
+bool readFailure(ByteReader &Rd, TransportFailure &F) {
+  F.CommId = Rd.u32();
+  if (!readI64Vec(Rd, F.Src) || !readI64Vec(Rd, F.Dst))
+    return false;
+  F.Seq = Rd.u64();
+  F.Attempts = Rd.u32();
+  return Rd.ok();
+}
+
+/// The on-disk filename of the image at global step \p Events,
+/// zero-padded so lexicographic directory order is numeric order.
+std::string ckptFileName(uint64_t Events) {
+  char Name[48];
+  std::snprintf(Name, sizeof(Name), "ckpt-%020llu.dmc",
+                static_cast<unsigned long long>(Events));
+  return Name;
+}
+
+} // namespace
+
+void Simulator::persistDurable(const SimResult &R) {
+  const Checkpoint &CK = *Stable;
+  ByteWriter W;
+  W.u32(CkptImageVersion);
+  // Identity: a resumed process must be running the same deterministic
+  // compilation with the same grid and parameters, or the encoded
+  // call-stack paths and environments are meaningless.
+  W.u64(Procs.size());
+  W.u64(PhysClock.size());
+  W.u32(CP.Spmd.GridDims);
+  writeI64Vec(W, ParamEnv);
+
+  // Machine position and counters.
+  W.u64(Events);
+  W.u64(Ctr.Messages);
+  W.u64(Ctr.IntraMessages);
+  W.u64(Ctr.Words);
+  W.u64(Ctr.Flops);
+  W.u64(Ctr.ComputeIterations);
+  W.u64(Ctr.Retransmissions);
+  W.u64(Ctr.DroppedPackets);
+  W.u64(Ctr.DuplicatesSuppressed);
+  W.u64(Ctr.AcksSent);
+  W.u64(Ctr.CorruptedPackets);
+  W.u64(Ctr.NacksSent);
+  W.u64(Ctr.PartitionDrops);
+  W.u64(Ctr.SlowLinkMessages);
+  W.u64(Ctr.Crashes);
+  W.u64(Ctr.EarlySends);
+
+  // Partial SimResult accumulators: the run-so-far telemetry a fresh
+  // SimResult in the resumed process has to inherit.
+  W.u64(R.Recovery.CheckpointsTaken);
+  W.u64(R.Recovery.CheckpointBytes);
+  W.u64(R.Recovery.Rollbacks);
+  W.u64(R.Recovery.ReplayedSteps);
+  W.u64(R.Recovery.ReplayedMessages);
+  W.f64(RecoveryExtraSeconds);
+
+  // Clocks, busy buckets and NIC state (monotonic — never rewound, so
+  // the in-memory Checkpoint omits them, but a resumed process needs
+  // their values at the line).
+  writeF64Vec(W, PhysClock);
+  writeF64Vec(W, PhysBusy);
+  writeF64Vec(W, BusyCompute);
+  writeF64Vec(W, BusyProtocol);
+  writeF64Vec(W, BusyCheckpoint);
+  writeF64Vec(W, NetFree);
+  writeF64Vec(W, NetDeferred);
+  writeF64Vec(W, NetExposed);
+
+  // Crash history: spent crash budgets and the event log.
+  for (char C : HasCrashed)
+    W.u8(static_cast<uint8_t>(C));
+  W.u64(CrashLog.size());
+  for (const CrashEvent &C : CrashLog) {
+    writeI64Vec(W, C.Coord);
+    W.u32(C.Phys);
+    W.u64(C.AtStep);
+    W.f64(C.AtTime);
+  }
+  W.u64(Failures.size());
+  for (const TransportFailure &F : Failures)
+    writeFailure(W, F);
+  W.u64(CK.WordsPerPhys.size());
+  for (uint64_t X : CK.WordsPerPhys)
+    W.u64(X);
+
+  // Per-processor logical state, exactly the in-memory Checkpoint's.
+  for (const Checkpoint::ProcState &PS : CK.Procs) {
+    writeI64Vec(W, PS.Env);
+    writeI64Vec(W, PS.ProgEnv);
+    W.u64(PS.Stack.size());
+    for (const Frame &F : PS.Stack) {
+      W.u8(F.LoopStmt ? 1 : 0);
+      W.u64(F.Pos);
+      W.i64(F.LoopCur);
+      W.i64(F.LoopHi);
+    }
+    W.u8(PS.Finished ? 1 : 0);
+    W.u64(PS.Steps);
+    W.u64(PS.Store.size());
+    for (const auto &[Key, Val] : PS.Store) {
+      W.u32(Key.first);
+      W.i64(Key.second);
+      W.f64(Val);
+    }
+    W.i64(PS.LastMulticastComm);
+    W.u64(PS.BurstPhys.size());
+    for (unsigned Ph : PS.BurstPhys)
+      W.u32(Ph);
+    W.f64(PS.BurstReady);
+    W.i64(PS.CachedPackComm);
+    writeF64Vec(W, PS.CachedData);
+    W.u64(PS.CachedCount);
+  }
+
+  // Channel state: receive queues and transport cursors.
+  W.u64(CK.Queues.size());
+  for (const auto &[Key, Q] : CK.Queues) {
+    writeI64Vec(W, Key);
+    W.u64(Q.size());
+    for (const Message &M : Q) {
+      writeF64Vec(W, M.Data);
+      W.u64(M.WordCount);
+      W.f64(M.ReadyTime);
+      W.u8(M.FromMulticast ? 1 : 0);
+      W.u64(M.Seq);
+    }
+  }
+  auto WriteSeqMap = [&](const std::map<std::vector<IntT>, uint64_t> &M) {
+    W.u64(M.size());
+    for (const auto &[Key, Seq] : M) {
+      writeI64Vec(W, Key);
+      W.u64(Seq);
+    }
+  };
+  WriteSeqMap(CK.SendSeq);
+  WriteSeqMap(CK.RecvSeq);
+
+  std::vector<uint8_t> Bytes = stable::encodeFrame(CkptFrameType, W.take());
+  const std::string &Dir = Opts.Checkpoint.DurableDir;
+  std::string Err;
+  if (!stable::ensureDir(Dir, Err) ||
+      !stable::atomicWriteFile(Dir + "/" + ckptFileName(Events), Bytes,
+                               Err)) {
+    std::string Msg = "durable checkpoint write failed: " + Err;
+    fatalError(Msg.c_str());
+  }
+}
+
+bool Simulator::resumeFromDurable(SimResult &R) {
+  ResumeInfo.Attempted = true;
+  const std::string &Dir = Opts.Checkpoint.DurableDir;
+  std::vector<std::string> Files = stable::listFiles(Dir, "ckpt-", ".dmc");
+  ResumeInfo.FilesSeen = static_cast<unsigned>(Files.size());
+
+  // Parses one image payload and, only if EVERY field validates,
+  // applies it to the machine. Returns false (state untouched) on any
+  // structural damage or incompatibility.
+  auto TryLoad = [&](const std::vector<uint8_t> &Payload) -> bool {
+    ByteReader Rd(Payload);
+    if (Rd.u32() != CkptImageVersion)
+      return false;
+    if (Rd.u64() != Procs.size() || Rd.u64() != PhysClock.size() ||
+        Rd.u32() != CP.Spmd.GridDims)
+      return false;
+    std::vector<IntT> ImgParamEnv;
+    if (!readI64Vec(Rd, ImgParamEnv) || ImgParamEnv != ParamEnv)
+      return false;
+
+    uint64_t ImgEvents = Rd.u64();
+    SimCounters C;
+    C.Messages = Rd.u64();
+    C.IntraMessages = Rd.u64();
+    C.Words = Rd.u64();
+    C.Flops = Rd.u64();
+    C.ComputeIterations = Rd.u64();
+    C.Retransmissions = Rd.u64();
+    C.DroppedPackets = Rd.u64();
+    C.DuplicatesSuppressed = Rd.u64();
+    C.AcksSent = Rd.u64();
+    C.CorruptedPackets = Rd.u64();
+    C.NacksSent = Rd.u64();
+    C.PartitionDrops = Rd.u64();
+    C.SlowLinkMessages = Rd.u64();
+    C.Crashes = Rd.u64();
+    C.EarlySends = Rd.u64();
+
+    uint64_t CkTaken = Rd.u64(), CkBytes = Rd.u64(), Rollbacks = Rd.u64(),
+             ReplayedSteps = Rd.u64(), ReplayedMessages = Rd.u64();
+    double RecoveryExtra = Rd.f64();
+
+    std::vector<double> Clock, Busy, BCompute, BProtocol, BCheckpoint,
+        NFree, NDeferred, NExposed;
+    if (!readF64Vec(Rd, Clock) || !readF64Vec(Rd, Busy) ||
+        !readF64Vec(Rd, BCompute) || !readF64Vec(Rd, BProtocol) ||
+        !readF64Vec(Rd, BCheckpoint) || !readF64Vec(Rd, NFree) ||
+        !readF64Vec(Rd, NDeferred) || !readF64Vec(Rd, NExposed))
+      return false;
+    const size_t NPhys = PhysClock.size();
+    if (Clock.size() != NPhys || Busy.size() != NPhys ||
+        BCompute.size() != NPhys || BProtocol.size() != NPhys ||
+        BCheckpoint.size() != NPhys || NFree.size() != NPhys ||
+        NDeferred.size() != NPhys || NExposed.size() != NPhys)
+      return false;
+
+    std::vector<char> Crashed(Procs.size());
+    for (char &Ch : Crashed)
+      Ch = static_cast<char>(Rd.u8());
+    uint64_t NCrash = Rd.u64();
+    if (!Rd.ok() || NCrash > Rd.remaining() / 21)
+      return false;
+    std::vector<CrashEvent> Log(NCrash);
+    for (CrashEvent &CE : Log) {
+      if (!readI64Vec(Rd, CE.Coord))
+        return false;
+      CE.Phys = Rd.u32();
+      CE.AtStep = Rd.u64();
+      CE.AtTime = Rd.f64();
+    }
+    uint64_t NFail = Rd.u64();
+    if (!Rd.ok() || NFail > Rd.remaining() / 24)
+      return false;
+    std::vector<TransportFailure> Fails(NFail);
+    for (TransportFailure &F : Fails)
+      if (!readFailure(Rd, F))
+        return false;
+    uint64_t NWpp = Rd.u64();
+    if (NWpp != NPhys || !Rd.ok())
+      return false;
+    std::vector<uint64_t> Wpp(NWpp);
+    for (uint64_t &X : Wpp)
+      X = Rd.u64();
+
+    auto Img = std::make_unique<Checkpoint>();
+    Img->Procs.resize(Procs.size());
+    for (unsigned I = 0, E = static_cast<unsigned>(Procs.size()); I != E;
+         ++I) {
+      Checkpoint::ProcState &PS = Img->Procs[I];
+      if (!readI64Vec(Rd, PS.Env) || PS.Env.size() != Procs[I].Env.size())
+        return false;
+      if (!readI64Vec(Rd, PS.ProgEnv) ||
+          PS.ProgEnv.size() != Procs[I].ProgEnv.size())
+        return false;
+      // Re-anchor the call stack onto this process's SPMD tree: each
+      // frame's list is the body of the statement its parent frame
+      // stands at (children are pushed after the parent's cursor
+      // advanced, so parent.Pos - 1 names that statement).
+      uint64_t NFrames = Rd.u64();
+      if (!Rd.ok() || NFrames > Rd.remaining() / 25)
+        return false;
+      PS.Stack.reserve(NFrames);
+      for (uint64_t K = 0; K != NFrames; ++K) {
+        bool IsLoop = Rd.u8() != 0;
+        uint64_t Pos = Rd.u64();
+        IntT LoopCur = Rd.i64(), LoopHi = Rd.i64();
+        if (!Rd.ok())
+          return false;
+        Frame F;
+        if (K == 0) {
+          if (IsLoop)
+            return false; // the root frame is the Top sequence
+          F.List = &CP.Spmd.Top;
+        } else {
+          const Frame &Par = PS.Stack.back();
+          if (Par.Pos < 1 || Par.Pos > Par.List->size())
+            return false;
+          const SpmdStmt &St = (*Par.List)[Par.Pos - 1];
+          if (IsLoop && St.K != SpmdStmt::Kind::For)
+            return false;
+          F.List = &St.Body;
+          if (IsLoop)
+            F.LoopStmt = &St;
+        }
+        if (Pos > F.List->size())
+          return false;
+        F.Pos = static_cast<unsigned>(Pos);
+        F.LoopCur = LoopCur;
+        F.LoopHi = LoopHi;
+        PS.Stack.push_back(F);
+      }
+      PS.Finished = Rd.u8() != 0;
+      PS.Steps = Rd.u64();
+      uint64_t NStore = Rd.u64();
+      if (!Rd.ok() || NStore > Rd.remaining() / 20)
+        return false;
+      for (uint64_t K = 0; K != NStore; ++K) {
+        unsigned ArrayId = Rd.u32();
+        IntT Flat = Rd.i64();
+        double Val = Rd.f64();
+        PS.Store.emplace(std::make_pair(ArrayId, Flat), Val);
+      }
+      PS.LastMulticastComm = static_cast<int>(Rd.i64());
+      uint64_t NBurst = Rd.u64();
+      if (!Rd.ok() || NBurst > Rd.remaining() / 4)
+        return false;
+      for (uint64_t K = 0; K != NBurst; ++K)
+        PS.BurstPhys.insert(Rd.u32());
+      PS.BurstReady = Rd.f64();
+      PS.CachedPackComm = static_cast<int>(Rd.i64());
+      if (!readF64Vec(Rd, PS.CachedData))
+        return false;
+      PS.CachedCount = Rd.u64();
+      if (!Rd.ok())
+        return false;
+    }
+
+    uint64_t NQueues = Rd.u64();
+    if (!Rd.ok() || NQueues > Rd.remaining() / 16)
+      return false;
+    for (uint64_t K = 0; K != NQueues; ++K) {
+      std::vector<IntT> Key;
+      if (!readI64Vec(Rd, Key))
+        return false;
+      uint64_t NMsgs = Rd.u64();
+      if (!Rd.ok() || NMsgs > Rd.remaining() / 26)
+        return false;
+      std::vector<Message> Q(NMsgs);
+      for (Message &M : Q) {
+        if (!readF64Vec(Rd, M.Data))
+          return false;
+        M.WordCount = Rd.u64();
+        M.ReadyTime = Rd.f64();
+        M.FromMulticast = Rd.u8() != 0;
+        M.Seq = Rd.u64();
+        // Normalized visibility: at a checkpoint line every queued
+        // message was pushed in a strictly earlier round, which the
+        // wavefront rule reads as always-visible — encoded as sender 0,
+        // round 0.
+        M.SenderId = 0;
+        M.PushRound = 0;
+      }
+      Img->Queues.emplace(std::move(Key), std::move(Q));
+    }
+    auto ReadSeqMap = [&](std::map<std::vector<IntT>, uint64_t> &M) {
+      uint64_t N = Rd.u64();
+      if (!Rd.ok() || N > Rd.remaining() / 16)
+        return false;
+      for (uint64_t K = 0; K != N; ++K) {
+        std::vector<IntT> Key;
+        if (!readI64Vec(Rd, Key))
+          return false;
+        M.emplace(std::move(Key), Rd.u64());
+      }
+      return Rd.ok();
+    };
+    if (!ReadSeqMap(Img->SendSeq) || !ReadSeqMap(Img->RecvSeq))
+      return false;
+    if (!Rd.atEnd())
+      return false;
+
+    // Everything validated: apply. Live processor state first.
+    for (unsigned I = 0, E = static_cast<unsigned>(Procs.size()); I != E;
+         ++I) {
+      VirtProc &V = Procs[I];
+      const Checkpoint::ProcState &PS = Img->Procs[I];
+      V.Env = PS.Env;
+      V.ProgEnv = PS.ProgEnv;
+      V.Stack = PS.Stack;
+      V.Finished = PS.Finished;
+      V.Steps = PS.Steps;
+      V.Store = PS.Store;
+      V.LastMulticastComm = PS.LastMulticastComm;
+      V.BurstPhys = PS.BurstPhys;
+      V.BurstReady = PS.BurstReady;
+      V.CachedPackComm = PS.CachedPackComm;
+      V.CachedData = PS.CachedData;
+      V.CachedCount = PS.CachedCount;
+      V.Crashed = false; // checkpoints are never taken with dead procs
+      V.Blocked = false;
+    }
+    Queues = Img->Queues;
+    SendSeq = Img->SendSeq;
+    RecvSeq = Img->RecvSeq;
+    Failures = Fails;
+    Ctr = C;
+    Events = ImgEvents;
+    PhysClock = Clock;
+    PhysBusy = Busy;
+    BusyCompute = BCompute;
+    BusyProtocol = BProtocol;
+    BusyCheckpoint = BCheckpoint;
+    NetFree = NFree;
+    NetDeferred = NDeferred;
+    NetExposed = NExposed;
+    RecoveryExtraSeconds = RecoveryExtra;
+    HasCrashed = Crashed;
+    CrashLog = Log;
+    R.Recovery.CheckpointsTaken = CkTaken;
+    R.Recovery.CheckpointBytes = CkBytes;
+    R.Recovery.Rollbacks = Rollbacks;
+    R.Recovery.ReplayedSteps = ReplayedSteps;
+    R.Recovery.ReplayedMessages = ReplayedMessages;
+
+    // Rebuild the in-memory stable store from the image so the next
+    // in-simulation rollback has its line, exactly as the uninterrupted
+    // run would.
+    Img->SendSeq = SendSeq;
+    Img->RecvSeq = RecvSeq;
+    Img->Failures = Failures;
+    Img->Messages = Ctr.Messages;
+    Img->IntraMessages = Ctr.IntraMessages;
+    Img->Words = Ctr.Words;
+    Img->Flops = Ctr.Flops;
+    Img->ComputeIterations = Ctr.ComputeIterations;
+    Img->BusyCompute = BusyCompute;
+    Img->BusyProtocol = BusyProtocol;
+    Img->BusyCheckpoint = BusyCheckpoint;
+    Img->EventsAtTaken = Events;
+    Img->WordsPerPhys = Wpp;
+    Stable = std::move(Img);
+    NextCheckpointEvents = Events + Opts.Checkpoint.IntervalSteps;
+    ReplayBaseEvents = Events;
+    return true;
+  };
+
+  // Newest first; skip (and count) anything torn, bit-damaged or
+  // incompatible. First intact image wins.
+  for (auto It = Files.rbegin(); It != Files.rend(); ++It) {
+    std::string Path = Dir + "/" + *It;
+    stable::ReadFramesResult RF = stable::readFrames(Path);
+    if (!RF.Error.empty() || RF.TornTail || RF.Frames.size() != 1 ||
+        RF.Frames[0].Type != CkptFrameType || !TryLoad(RF.Frames[0].Payload)) {
+      ++ResumeInfo.CorruptSkipped;
+      continue;
+    }
+    ResumeInfo.Resumed = true;
+    ResumeInfo.ResumedAtEvents = Events;
+    ResumeInfo.File = Path;
+    return true;
+  }
+  return false;
 }
 
 namespace {

@@ -111,8 +111,23 @@ struct CheckpointOptions {
   /// structured diagnostic instead of thrashing. Crash schedules honor
   /// at most one crash per processor, so this is a secondary guard.
   unsigned MaxRollbacks = 64;
+  /// Durable stable store (DESIGN.md §13). When non-empty, every
+  /// coordinated checkpoint (including the free initial one) is also
+  /// serialized to `DurableDir/ckpt-<events>.dmc` as a versioned,
+  /// CRC32-framed image written with temp+fsync+rename — so a SIGKILL
+  /// of the host process at any instant leaves the newest intact image
+  /// on disk. Requires IntervalSteps > 0.
+  std::string DurableDir;
+  /// Before executing anything, scan DurableDir for the newest intact
+  /// checkpoint image (torn or bit-damaged files are detected by the
+  /// frame CRCs and skipped), restore the full machine state from it
+  /// and replay from there — bit-identical to the uninterrupted run.
+  /// With no usable image the run starts fresh, so a kill/restart loop
+  /// can pass Resume unconditionally. See Simulator::resumeInfo().
+  bool Resume = false;
 
   bool enabled() const { return IntervalSteps > 0; }
+  bool durable() const { return enabled() && !DurableDir.empty(); }
 };
 
 /// Simulation configuration.
@@ -288,6 +303,18 @@ struct OverlapStats {
   double hiddenSeconds() const { return DeferredSeconds - ExposedSeconds; }
 };
 
+/// Outcome of the durable-resume scan (CheckpointOptions::Resume),
+/// reported out of band: it is host-process bookkeeping, not simulated
+/// telemetry, so it must not perturb SimResult's bit-identity contract.
+struct DurableResumeInfo {
+  bool Attempted = false;     ///< a resume scan ran before execution
+  bool Resumed = false;       ///< an intact image was restored
+  uint64_t ResumedAtEvents = 0; ///< global step of the restored line
+  unsigned FilesSeen = 0;     ///< checkpoint images found in the dir
+  unsigned CorruptSkipped = 0;///< torn/bit-damaged/incompatible skipped
+  std::string File;           ///< path of the image restored
+};
+
 /// Aggregate outcome of a simulation.
 struct SimResult {
   bool Ok = false;
@@ -347,6 +374,10 @@ public:
   const std::vector<IntT> &virtGridLo() const { return VirtLo; }
   const std::vector<IntT> &virtGridHi() const { return VirtHi; }
 
+  /// What the durable-resume scan did (meaningful after run() when
+  /// CheckpointOptions::Resume was set).
+  const DurableResumeInfo &resumeInfo() const { return ResumeInfo; }
+
 private:
   struct Frame;
   struct VirtProc;
@@ -394,6 +425,15 @@ private:
   /// the recovery bucket, and advance the clocks past detection and
   /// stable-store restore costs.
   void restoreCheckpoint(SimResult &R);
+  /// Durable stable store (DESIGN.md §13): serialize the machine state
+  /// at the checkpoint line just drawn into DurableDir (CRC32-framed,
+  /// temp+fsync+rename). Fatal on host I/O failure — a run that cannot
+  /// honor its durability contract must not continue silently.
+  void persistDurable(const SimResult &R);
+  /// Restore the newest intact durable image from DurableDir, skipping
+  /// torn/corrupt/incompatible files; returns false (leaving the
+  /// freshly-staged state untouched) when none is usable.
+  bool resumeFromDurable(SimResult &R);
   /// Sum the per-physical busy buckets into the result's telemetry.
   void fillRecoverySplit(SimResult &R) const;
   /// Sum the per-physical overlap buckets into the result's telemetry
@@ -447,6 +487,8 @@ private:
   /// Global step count at the last checkpoint or rollback, for the
   /// replayed-steps telemetry.
   uint64_t ReplayBaseEvents = 0;
+  /// Outcome of the durable-resume scan (resumeInfo()).
+  DurableResumeInfo ResumeInfo;
   std::vector<IntT> ParamEnv; ///< parameter values aligned to Spmd space
   uint64_t Events = 0;        ///< executed SPMD statements (budget guard)
   /// Canonical logical counters (see SimCounters); flushCounters copies

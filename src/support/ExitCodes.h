@@ -44,6 +44,11 @@ enum ExitCode : int {
   /// The simulation completed but its final arrays differ from the
   /// sequential reference execution.
   ExitVerifyMismatch = 6,
+  /// A durable-storage operation failed: the fleet report or resume
+  /// journal could not be written/fsynced/renamed, or a durable
+  /// checkpoint directory could not be created. The simulation itself
+  /// may have been fine; the host filesystem was not.
+  ExitIo = 7,
   /// Internal invariant violation (fatalError/overflowError): a dmcc
   /// bug, not a property of the input. Matches sysexits EX_SOFTWARE.
   ExitInternal = 70,

@@ -1,0 +1,294 @@
+//===- support/StableStore.cpp - Durable CRC-framed state store -----------===//
+//
+// Part of dmcc, a reproduction of Amarasinghe & Lam, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StableStore.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace dmcc {
+namespace stable {
+
+//===----------------------------------------------------------------------===//
+// CRC-32
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct CrcTable {
+  uint32_t T[256];
+  CrcTable() {
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+  }
+};
+
+std::string errnoStr(const char *What, const std::string &Path) {
+  return std::string(What) + " " + Path + ": " + std::strerror(errno);
+}
+
+/// Frame header: magic, version, type, payload length, payload crc.
+constexpr size_t HeaderBytes = 4 + 4 + 4 + 8 + 4;
+
+/// Upper bound on a single frame payload (1 GiB) — rejects absurd
+/// lengths decoded from corrupt headers before any allocation.
+constexpr uint64_t MaxPayloadBytes = uint64_t(1) << 30;
+
+} // namespace
+
+uint32_t crc32(const void *Data, size_t N) {
+  static const CrcTable Tbl;
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  uint32_t C = 0xFFFFFFFFu;
+  for (size_t I = 0; I < N; ++I)
+    C = Tbl.T[(C ^ P[I]) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+//===----------------------------------------------------------------------===//
+// Frames
+//===----------------------------------------------------------------------===//
+
+std::vector<uint8_t> encodeFrame(uint32_t Type,
+                                 const std::vector<uint8_t> &Payload) {
+  ByteWriter W;
+  W.u32(FrameMagic);
+  W.u32(FormatVersion);
+  W.u32(Type);
+  W.u64(Payload.size());
+  W.u32(crc32(Payload.data(), Payload.size()));
+  std::vector<uint8_t> Out = W.take();
+  Out.insert(Out.end(), Payload.begin(), Payload.end());
+  return Out;
+}
+
+ReadFramesResult readFrames(const std::string &Path) {
+  ReadFramesResult R;
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    R.Error = errnoStr("open", Path);
+    return R;
+  }
+  std::vector<uint8_t> Bytes;
+  uint8_t Buf[1 << 16];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Bytes.insert(Bytes.end(), Buf, Buf + Got);
+  bool ReadErr = std::ferror(F) != 0;
+  std::fclose(F);
+  if (ReadErr) {
+    R.Error = errnoStr("read", Path);
+    return R;
+  }
+
+  size_t Pos = 0;
+  while (Bytes.size() - Pos >= HeaderBytes) {
+    ByteReader H(Bytes.data() + Pos, HeaderBytes);
+    uint32_t Magic = H.u32(), Version = H.u32(), Type = H.u32();
+    uint64_t Len = H.u64();
+    uint32_t Crc = H.u32();
+    if (Magic != FrameMagic || Version != FormatVersion ||
+        Len > MaxPayloadBytes)
+      break; // stray bytes or incompatible frame: stop, drop the tail
+    if (Bytes.size() - Pos - HeaderBytes < Len)
+      break; // torn frame: header written, payload incomplete
+    const uint8_t *P = Bytes.data() + Pos + HeaderBytes;
+    if (crc32(P, static_cast<size_t>(Len)) != Crc)
+      break; // bit damage inside the payload
+    Frame Fr;
+    Fr.Type = Type;
+    Fr.Payload.assign(P, P + Len);
+    R.Frames.push_back(std::move(Fr));
+    Pos += HeaderBytes + static_cast<size_t>(Len);
+  }
+  R.ValidBytes = Pos;
+  R.TornTail = Pos != Bytes.size();
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Durable writes
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// fsyncs the directory containing \p Path so a rename/creation in it
+/// survives a crash. Best-effort: some filesystems reject O_RDONLY
+/// directory fsync; those errors are ignored.
+void syncParentDir(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  if (Dir.empty())
+    Dir = "/";
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd >= 0) {
+    (void)::fsync(Fd);
+    ::close(Fd);
+  }
+}
+
+} // namespace
+
+bool atomicWriteFile(const std::string &Path, const void *Data, size_t N,
+                     std::string &Err) {
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0) {
+    Err = errnoStr("open", Tmp);
+    return false;
+  }
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  size_t Off = 0;
+  while (Off < N) {
+    ssize_t W = ::write(Fd, P + Off, N - Off);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = errnoStr("write", Tmp);
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      return false;
+    }
+    Off += static_cast<size_t>(W);
+  }
+  if (::fsync(Fd) != 0) {
+    Err = errnoStr("fsync", Tmp);
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  if (::close(Fd) != 0) {
+    Err = errnoStr("close", Tmp);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    Err = errnoStr("rename", Tmp);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  syncParentDir(Path);
+  return true;
+}
+
+bool atomicWriteFile(const std::string &Path, const std::string &Data,
+                     std::string &Err) {
+  return atomicWriteFile(Path, Data.data(), Data.size(), Err);
+}
+
+bool ensureDir(const std::string &Dir, std::string &Err) {
+  if (::mkdir(Dir.c_str(), 0755) == 0)
+    return true;
+  if (errno == EEXIST) {
+    struct stat St;
+    if (::stat(Dir.c_str(), &St) == 0 && S_ISDIR(St.st_mode))
+      return true;
+    Err = Dir + ": exists and is not a directory";
+    return false;
+  }
+  Err = errnoStr("mkdir", Dir);
+  return false;
+}
+
+std::vector<std::string> listFiles(const std::string &Dir,
+                                   const std::string &Prefix,
+                                   const std::string &Suffix) {
+  std::vector<std::string> Out;
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return Out;
+  while (struct dirent *E = ::readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name.size() < Prefix.size() + Suffix.size())
+      continue;
+    if (Name.compare(0, Prefix.size(), Prefix) != 0)
+      continue;
+    if (Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) != 0)
+      continue;
+    Out.push_back(Name);
+  }
+  ::closedir(D);
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// JournalWriter
+//===----------------------------------------------------------------------===//
+
+JournalWriter::~JournalWriter() { close(); }
+
+void JournalWriter::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool JournalWriter::open(const std::string &P, uint64_t TruncateTo,
+                         std::string &Err) {
+  close();
+  Fd = ::open(P.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (Fd < 0) {
+    Err = errnoStr("open", P);
+    return false;
+  }
+  // Cut any torn tail (or stale content when starting fresh) before the
+  // O_APPEND-style writes below; callers pass the valid-prefix length
+  // from readFrames.
+  if (::ftruncate(Fd, static_cast<off_t>(TruncateTo)) != 0) {
+    Err = errnoStr("ftruncate", P);
+    close();
+    return false;
+  }
+  if (::lseek(Fd, 0, SEEK_END) < 0) {
+    Err = errnoStr("lseek", P);
+    close();
+    return false;
+  }
+  Path = P;
+  syncParentDir(P);
+  return true;
+}
+
+bool JournalWriter::append(uint32_t Type, const std::vector<uint8_t> &Payload,
+                           std::string &Err) {
+  if (Fd < 0) {
+    Err = "journal not open";
+    return false;
+  }
+  std::vector<uint8_t> Frame = encodeFrame(Type, Payload);
+  size_t Off = 0;
+  while (Off < Frame.size()) {
+    ssize_t W = ::write(Fd, Frame.data() + Off, Frame.size() - Off);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = errnoStr("write", Path);
+      return false;
+    }
+    Off += static_cast<size_t>(W);
+  }
+  if (::fdatasync(Fd) != 0) {
+    Err = errnoStr("fdatasync", Path);
+    return false;
+  }
+  return true;
+}
+
+} // namespace stable
+} // namespace dmcc

@@ -266,6 +266,89 @@ TEST(CrashRecoveryTest, RollbackBudgetExhaustionNamesTheLine) {
       << R.Error;
 }
 
+TEST(CrashRecoveryTest, PartialRecoveryThenBudgetExhaustionIsNamed) {
+  // The budget exhausts AFTER real recoveries, not only at zero: find a
+  // schedule needing R >= 2 rollbacks, grant it R - 1, and require the
+  // structured diagnostic to report exactly R - 1 performed before the
+  // budget bit the run.
+  Program P = lu();
+  CompileSpec Spec = luSpec(P);
+  CompiledProgram CP = compile(P, Spec);
+  std::map<std::string, IntT> Pv = {{"N", 32}};
+  uint64_t NeededRollbacks = 0, ChosenSeed = 0;
+  for (uint64_t Seed : {7u, 9u, 13u, 21u, 35u}) {
+    FaultOptions F;
+    F.CrashRate = 4e-4;
+    F.CrashSeed = Seed;
+    CheckpointOptions CK;
+    CK.IntervalSteps = 4000;
+    SimResult R =
+        Simulator(P, CP, Spec, opts(4, Pv, true, F, CK)).run();
+    if (R.Ok && R.Recovery.Rollbacks >= 2) {
+      NeededRollbacks = R.Recovery.Rollbacks;
+      ChosenSeed = Seed;
+      break;
+    }
+  }
+  ASSERT_GE(NeededRollbacks, 2u)
+      << "no candidate seed produced a multi-rollback schedule";
+
+  FaultOptions F;
+  F.CrashRate = 4e-4;
+  F.CrashSeed = ChosenSeed;
+  CheckpointOptions CK;
+  CK.IntervalSteps = 4000;
+  CK.MaxRollbacks = static_cast<unsigned>(NeededRollbacks - 1);
+  SimResult R = Simulator(P, CP, Spec, opts(4, Pv, true, F, CK)).run();
+  ASSERT_FALSE(R.Ok);
+  EXPECT_TRUE(R.Diag.RecoveryEnabled);
+  EXPECT_TRUE(R.Diag.HasRollbackLine);
+  EXPECT_EQ(R.Diag.RollbacksDone, NeededRollbacks - 1);
+  EXPECT_EQ(R.Recovery.Rollbacks, NeededRollbacks - 1);
+  EXPECT_NE(R.Error.find("rollback budget exhausted"),
+            std::string::npos)
+      << R.Error;
+  EXPECT_NE(R.Error.find(std::to_string(NeededRollbacks - 1) +
+                         " rollback(s) performed"),
+            std::string::npos)
+      << R.Error;
+}
+
+TEST(CrashRecoveryTest, IntervalBeyondRunLengthRollsBackToStepZero) {
+  // A checkpoint interval larger than the whole run's event count:
+  // only the free initial snapshot exists, so every recovery replays
+  // from the very beginning — and must still end bit-exact.
+  Program P = lu();
+  CompileSpec Spec = luSpec(P);
+  CompiledProgram CP = compile(P, Spec);
+  std::map<std::string, IntT> Pv = {{"N", 24}};
+  // Baseline with the transport engaged (crash rates engage it in the
+  // recovery run, and the transport unicasts multicast traffic, which
+  // changes the logical message count) but nothing failing.
+  FaultOptions Reliable;
+  Reliable.AlwaysReliable = true;
+  SimResult Clean =
+      Simulator(P, CP, Spec, opts(4, Pv, true, Reliable)).run();
+  ASSERT_TRUE(Clean.Ok) << Clean.Error;
+
+  FaultOptions F;
+  F.CrashRate = 8e-4;
+  F.CrashSeed = 11;
+  CheckpointOptions CK;
+  CK.IntervalSteps = Clean.TotalEvents * 10; // never fires mid-run
+  Simulator Sim(P, CP, Spec, opts(4, Pv, true, F, CK));
+  SimResult R = Sim.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Recovery.CheckpointsTaken, 1u); // the initial one only
+  ASSERT_GE(R.Recovery.Rollbacks, 1u);
+  // Rolling back to the initial snapshot replays everything executed
+  // before the crash: at least one full pre-crash prefix re-runs.
+  EXPECT_GT(R.Recovery.ReplayedSteps, 0u);
+  EXPECT_EQ(R.Messages, Clean.Messages);
+  EXPECT_EQ(R.Words, Clean.Words);
+  EXPECT_EQ(verifyArray0(P, Sim, Pv), 0u);
+}
+
 TEST(CrashRecoveryTest, SameCrashSeedIdenticalRecovery) {
   Program P = lu();
   CompileSpec Spec = luSpec(P);

@@ -10,8 +10,11 @@
 
 #include "frontend/Parser.h"
 #include "sim/Fleet.h"
+#include "support/StableStore.h"
 
+#include <cstdio>
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 using namespace dmcc;
 
@@ -60,6 +63,40 @@ FleetScenario cleanScn(unsigned Index, uint64_t Seed = 1) {
   S.Index = Index;
   S.Faults.Seed = Seed;
   return S;
+}
+
+/// A journal path in /tmp removed on destruction.
+struct TempJournal {
+  std::string Path;
+  TempJournal() {
+    char Buf[] = "/tmp/dmcc-fleet-journal-XXXXXX";
+    int Fd = mkstemp(Buf);
+    EXPECT_GE(Fd, 0);
+    if (Fd >= 0)
+      ::close(Fd);
+    ::unlink(Buf); // run() recreates it; keep only the unique name
+    Path = Buf;
+  }
+  ~TempJournal() { ::unlink(Path.c_str()); }
+};
+
+/// The supervision-free comparison of two reports (ElapsedSeconds is
+/// wall-clock and legitimately differs).
+void expectSameOutcomes(const FleetReport &A, const FleetReport &B) {
+  EXPECT_EQ(A.GoldenHash, B.GoldenHash);
+  ASSERT_EQ(A.Outcomes.size(), B.Outcomes.size());
+  for (size_t I = 0; I != A.Outcomes.size(); ++I) {
+    EXPECT_EQ(A.Outcomes[I].Status, B.Outcomes[I].Status) << I;
+    EXPECT_EQ(A.Outcomes[I].MakespanSeconds,
+              B.Outcomes[I].MakespanSeconds)
+        << I;
+    EXPECT_EQ(A.Outcomes[I].Retransmissions,
+              B.Outcomes[I].Retransmissions)
+        << I;
+    EXPECT_EQ(A.Outcomes[I].Crashes, B.Outcomes[I].Crashes) << I;
+    EXPECT_EQ(A.Outcomes[I].Rollbacks, B.Outcomes[I].Rollbacks) << I;
+    EXPECT_EQ(A.Outcomes[I].ResultHash, B.Outcomes[I].ResultHash) << I;
+  }
 }
 
 } // namespace
@@ -200,6 +237,143 @@ TEST(Fleet, JsonReportAccountsForEveryScenarioAndStatus) {
       << J;
   EXPECT_NE(J.find("\"hash_match\": true"), std::string::npos) << J;
   EXPECT_NE(J.find("\"golden_hash\": \"0x"), std::string::npos) << J;
+}
+
+TEST(Fleet, JournaledSweepResumesWithoutRerunningVerdicts) {
+  // First sweep journals every verdict. The resumed sweep must restore
+  // them all and re-run nothing: scenario 1 is sabotaged to abort on
+  // EVERY attempt, so if it were re-run it could not come back Ok.
+  FleetEnv E;
+  TempJournal J;
+  FleetOptions FO;
+  FO.Jobs = 2;
+  FO.RetryBackoffSeconds = 0.01;
+  FO.JournalPath = J.Path;
+  std::vector<FleetScenario> Matrix = {cleanScn(0, 1), cleanScn(1, 2),
+                                       cleanScn(2, 3)};
+  Fleet F1 = E.make(FO);
+  FleetReport A = F1.run(Matrix);
+  ASSERT_TRUE(A.Error.empty()) << A.Error;
+  EXPECT_EQ(A.count(ScenarioStatus::Ok), 3u);
+  EXPECT_EQ(A.ResumedFromJournal, 0u);
+
+  FO.Resume = true;
+  FO.AbortScenarios = {0, 1, 2}; // any re-run would end retry-exhausted
+  Fleet F2 = E.make(FO);
+  FleetReport B = F2.run(Matrix);
+  ASSERT_TRUE(B.Error.empty()) << B.Error;
+  EXPECT_EQ(B.ResumedFromJournal, 3u);
+  EXPECT_EQ(B.count(ScenarioStatus::Ok), 3u);
+  expectSameOutcomes(A, B);
+}
+
+TEST(Fleet, ResumeRequeuesScenariosWithoutAVerdict) {
+  // A journal holding verdicts for only part of the matrix (what a
+  // SIGKILL mid-sweep leaves behind): the resumed run must re-run
+  // exactly the unjournaled scenarios and produce the full report.
+  FleetEnv E;
+  TempJournal J;
+  FleetOptions FO;
+  FO.Jobs = 1;
+  FO.JournalPath = J.Path;
+  std::vector<FleetScenario> Matrix = {cleanScn(0, 1), cleanScn(1, 2),
+                                       cleanScn(2, 3), cleanScn(3, 4)};
+  Fleet F1 = E.make(FO);
+  FleetReport A = F1.run(Matrix);
+  ASSERT_TRUE(A.Error.empty()) << A.Error;
+  EXPECT_EQ(A.count(ScenarioStatus::Ok), 4u);
+
+  // Rewrite the journal keeping the meta record and the first two
+  // verdicts — scenarios 2 and 3 are left with at most a start record.
+  stable::ReadFramesResult RF = stable::readFrames(J.Path);
+  ASSERT_TRUE(RF.intact()) << RF.Error;
+  std::vector<uint8_t> Cut;
+  unsigned Verdicts = 0;
+  constexpr uint32_t VerdictType = 0x464C5644u; // "FLVD"
+  for (const stable::Frame &Fr : RF.Frames) {
+    if (Fr.Type == VerdictType && Verdicts == 2)
+      continue;
+    if (Fr.Type == VerdictType)
+      ++Verdicts;
+    std::vector<uint8_t> Enc = stable::encodeFrame(Fr.Type, Fr.Payload);
+    Cut.insert(Cut.end(), Enc.begin(), Enc.end());
+  }
+  std::string Err;
+  ASSERT_TRUE(stable::atomicWriteFile(J.Path, Cut, Err)) << Err;
+
+  FO.Resume = true;
+  Fleet F2 = E.make(FO);
+  FleetReport B = F2.run(Matrix);
+  ASSERT_TRUE(B.Error.empty()) << B.Error;
+  EXPECT_EQ(B.ResumedFromJournal, 2u);
+  EXPECT_EQ(B.count(ScenarioStatus::Ok), 4u);
+  expectSameOutcomes(A, B);
+}
+
+TEST(Fleet, TornJournalTailIsDiscardedOnResume) {
+  FleetEnv E;
+  TempJournal J;
+  FleetOptions FO;
+  FO.Jobs = 1;
+  FO.JournalPath = J.Path;
+  std::vector<FleetScenario> Matrix = {cleanScn(0, 1), cleanScn(1, 2)};
+  Fleet F1 = E.make(FO);
+  FleetReport A = F1.run(Matrix);
+  ASSERT_TRUE(A.Error.empty()) << A.Error;
+
+  // Tear the last record like a SIGKILL mid-append: its verdict is
+  // lost, so that scenario re-runs; the report still converges.
+  FILE *Fp = std::fopen(J.Path.c_str(), "rb");
+  ASSERT_NE(Fp, nullptr);
+  std::fseek(Fp, 0, SEEK_END);
+  long Size = std::ftell(Fp);
+  std::fclose(Fp);
+  ASSERT_GT(Size, 4);
+  ASSERT_EQ(truncate(J.Path.c_str(), Size - 4), 0);
+
+  FO.Resume = true;
+  Fleet F2 = E.make(FO);
+  FleetReport B = F2.run(Matrix);
+  ASSERT_TRUE(B.Error.empty()) << B.Error;
+  EXPECT_EQ(B.ResumedFromJournal, 1u);
+  EXPECT_EQ(B.count(ScenarioStatus::Ok), 2u);
+  expectSameOutcomes(A, B);
+}
+
+TEST(Fleet, ForeignJournalIsRejectedNotSilentlyTrusted) {
+  // A journal written for a different matrix (different scenario count)
+  // must abort the sweep with a usage error instead of resuming bogus
+  // verdicts into the report.
+  FleetEnv E;
+  TempJournal J;
+  FleetOptions FO;
+  FO.Jobs = 1;
+  FO.JournalPath = J.Path;
+  Fleet F1 = E.make(FO);
+  FleetReport A = F1.run({cleanScn(0, 1)});
+  ASSERT_TRUE(A.Error.empty()) << A.Error;
+
+  FO.Resume = true;
+  Fleet F2 = E.make(FO);
+  FleetReport B = F2.run({cleanScn(0, 1), cleanScn(1, 2)});
+  EXPECT_FALSE(B.Error.empty());
+  EXPECT_FALSE(B.ErrorIsIo);
+  EXPECT_NE(B.Error.find("does not belong"), std::string::npos)
+      << B.Error;
+}
+
+TEST(Fleet, ResumeFromMissingJournalIsAFreshSweep) {
+  FleetEnv E;
+  TempJournal J; // never written: the path does not exist
+  FleetOptions FO;
+  FO.Jobs = 1;
+  FO.JournalPath = J.Path;
+  FO.Resume = true;
+  Fleet F = E.make(FO);
+  FleetReport Rep = F.run({cleanScn(0, 1)});
+  ASSERT_TRUE(Rep.Error.empty()) << Rep.Error;
+  EXPECT_EQ(Rep.ResumedFromJournal, 0u);
+  EXPECT_EQ(Rep.count(ScenarioStatus::Ok), 1u);
 }
 
 TEST(Fleet, BuildMatrixDefaultsToOneCleanCell) {

@@ -32,7 +32,16 @@
 //     --timeout T            per-scenario watchdog seconds (def 30)
 //     --fleet-retries N      respawns after a timeout/crash (def 2)
 //     --backoff T            first respawn delay, doubles (def 0.05)
-//     --report PATH          write the JSON report here (def stdout)
+//     --report PATH          write the JSON report here (def stdout);
+//                            written atomically (temp+fsync+rename)
+//
+//   Crash-resumable sweeps (DESIGN.md §13):
+//     --journal PATH         append-only CRC-framed journal of scenario
+//                            start/verdict records
+//     --resume               replay --journal first: journaled verdicts
+//                            are restored, in-flight scenarios re-run;
+//                            the merged report equals an uninterrupted
+//                            sweep
 //
 //   Sabotage hooks (supervision tests; repeatable):
 //     --hang-scenario I      worker for scenario I hangs forever
@@ -41,13 +50,15 @@
 //
 //   Exit codes (support/ExitCodes.h): 0 when the matrix is fully
 //   accounted for and no scenario mismatched the clean run; 6 on any
-//   mismatch; 2 usage; 3 parse/compile error.
+//   mismatch; 2 usage (incl. a journal that belongs to a different
+//   matrix); 3 parse/compile error; 7 report/journal I/O failure.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/SpecParser.h"
 #include "sim/Fleet.h"
 #include "support/ExitCodes.h"
+#include "support/StableStore.h"
 
 #include <cstdio>
 #include <cstring>
@@ -70,7 +81,8 @@ int usage(const char *Argv0) {
       "       [--crash-rate R] [--max-retries N] [--retry-timeout T]\n"
       "       [--jobs N] [--timeout T] [--fleet-retries N] "
       "[--backoff T]\n"
-      "       [--report PATH] [--hang-scenario I] [--abort-scenario I]\n"
+      "       [--report PATH] [--journal PATH] [--resume]\n"
+      "       [--hang-scenario I] [--abort-scenario I]\n"
       "       [--abort-once-scenario I]\n",
       Argv0);
   return ExitUsage;
@@ -229,6 +241,12 @@ int main(int Argc, char **Argv) {
       if (!(V = Value(A)))
         return ExitUsage;
       ReportPath = V;
+    } else if (std::strcmp(A, "--journal") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      FO.JournalPath = V;
+    } else if (std::strcmp(A, "--resume") == 0) {
+      FO.Resume = true;
     } else if (std::strcmp(A, "--hang-scenario") == 0) {
       if (!(V = Value(A)))
         return ExitUsage;
@@ -280,6 +298,12 @@ int main(int Argc, char **Argv) {
                  "error: --fault-seeds/--crash-seeds need >= 1 seed\n");
     return ExitUsage;
   }
+  if (FO.Resume && FO.JournalPath.empty()) {
+    std::fprintf(stderr,
+                 "error: --resume requires --journal PATH (there is "
+                 "no journal to resume from)\n");
+    return ExitUsage;
+  }
   for (uint64_t S = 1; S <= NumFaultSeeds; ++S)
     MS.FaultSeeds.push_back(S);
   for (uint64_t S = 1; S <= NumCrashSeeds; ++S)
@@ -328,15 +352,27 @@ int main(int Argc, char **Argv) {
 
   Fleet F(P, CP, SP.Spec, Params, Procs, FO);
   FleetReport Rep = F.run(Matrix);
+  if (!Rep.Error.empty()) {
+    std::fprintf(stderr, "error: %s\n", Rep.Error.c_str());
+    return Rep.ErrorIsIo ? ExitIo : ExitUsage;
+  }
+  if (Rep.ResumedFromJournal)
+    std::fprintf(stderr,
+                 "dmcc-fleet: resumed %u verdict(s) from '%s', "
+                 "re-running %zu scenario(s)\n",
+                 Rep.ResumedFromJournal, FO.JournalPath.c_str(),
+                 Matrix.size() - Rep.ResumedFromJournal);
 
   std::string Json = Rep.json();
   if (ReportPath) {
-    std::ofstream Out(ReportPath);
-    if (!Out) {
-      std::fprintf(stderr, "error: cannot write '%s'\n", ReportPath);
-      return ExitUsage;
+    // Atomic (temp+fsync+rename): a crash mid-write must never leave a
+    // torn report behind — consumers see the old report or the new one.
+    std::string Err;
+    if (!stable::atomicWriteFile(ReportPath, Json, Err)) {
+      std::fprintf(stderr, "error: cannot write report: %s\n",
+                   Err.c_str());
+      return ExitIo;
     }
-    Out << Json;
   } else {
     std::fputs(Json.c_str(), stdout);
   }
