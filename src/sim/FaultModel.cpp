@@ -128,6 +128,12 @@ bool FaultModel::crashAt(unsigned Vp, uint64_t Step) const {
 double FaultModel::backoffDelay(unsigned Attempt) const {
   if (Attempt == 0)
     return 0;
-  return Opt.RetryTimeoutSeconds *
-         std::pow(Opt.BackoffFactor, static_cast<double>(Attempt - 1));
+  double D = Opt.RetryTimeoutSeconds *
+             std::pow(Opt.BackoffFactor, static_cast<double>(Attempt - 1));
+  // Clamp the exponential: a huge retry budget must not push the wait
+  // to infinity (which would poison every ReadyTime downstream). The
+  // cap — ~31 simulated years — is unreachable by any sane schedule,
+  // so existing fault goldens are bit-identical.
+  constexpr double MaxBackoffSeconds = 1e9;
+  return D < MaxBackoffSeconds ? D : MaxBackoffSeconds;
 }

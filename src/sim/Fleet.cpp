@@ -186,7 +186,8 @@ std::string FleetReport::json() const {
         Buf, sizeof Buf,
         "    {\"index\": %u, \"fault_seed\": %" PRIu64
         ", \"crash_seed\": %" PRIu64 ", \"checkpoint_interval\": %" PRIu64
-        ", \"threads\": %u, \"drop_rate\": %g, \"corrupt_rate\": %g, "
+        ", \"threads\": %u, \"engine\": \"%s\", \"drop_rate\": %g, "
+        "\"corrupt_rate\": %g, "
         "\"partition_rate\": %g, \"slow_link_rate\": %g, "
         "\"crash_rate\": %g, \"status\": \"%s\", \"attempts\": %u, "
         "\"makespan_seconds\": %.9f, \"retransmissions\": %" PRIu64
@@ -194,7 +195,9 @@ std::string FleetReport::json() const {
         ", \"hash\": \"0x%016" PRIx64 "\", \"hash_match\": %s, "
         "\"last_failure\": \"",
         O.Scn.Index, F.Seed, F.CrashSeed, O.Scn.CheckpointInterval,
-        O.Scn.Threads, F.DropRate, F.CorruptRate, F.PartitionRate,
+        O.Scn.Threads,
+        O.Scn.Engine == SimEngine::Event ? "event" : "rounds",
+        F.DropRate, F.CorruptRate, F.PartitionRate,
         F.SlowLinkRate, F.CrashRate, scenarioStatusName(O.Status),
         O.Attempts, O.MakespanSeconds, O.Retransmissions, O.Crashes,
         O.Rollbacks, O.ResultHash,
@@ -218,27 +221,59 @@ std::vector<FleetScenario> dmcc::buildMatrix(const FleetMatrixSpec &MS) {
   std::vector<uint64_t> Intervals = OrDefault(MS.CheckpointIntervals, 0);
   std::vector<unsigned> Threads =
       MS.ThreadCounts.empty() ? std::vector<unsigned>{1} : MS.ThreadCounts;
+  std::vector<SimEngine> Engines =
+      MS.Engines.empty() ? std::vector<SimEngine>{SimEngine::Rounds}
+                         : MS.Engines;
 
   std::vector<FleetScenario> Out;
   for (uint64_t FS : FSeeds)
     for (uint64_t CS : CSeeds)
       for (uint64_t IV : Intervals)
-        for (unsigned T : Threads) {
-          FleetScenario S;
-          S.Index = static_cast<unsigned>(Out.size());
-          S.Faults = MS.Base;
-          S.Faults.Seed = FS;
-          S.Faults.CrashSeed = CS;
-          // A crash without checkpointing is unrecoverable by
-          // construction; keep those cells crash-free instead of
-          // polluting the matrix with guaranteed losses.
-          if (IV == 0)
-            S.Faults.CrashRate = 0;
-          S.CheckpointInterval = IV;
-          S.Threads = T == 0 ? 1 : T;
-          Out.push_back(std::move(S));
-        }
+        for (SimEngine Eng : Engines)
+          for (unsigned T : Threads) {
+            // The event engine is single-threaded: emit its cells only
+            // at thread count 1 (duplicates would re-run the identical
+            // configuration under a different index).
+            if (Eng == SimEngine::Event && T > 1)
+              continue;
+            FleetScenario S;
+            S.Index = static_cast<unsigned>(Out.size());
+            S.Faults = MS.Base;
+            S.Faults.Seed = FS;
+            S.Faults.CrashSeed = CS;
+            // A crash without checkpointing is unrecoverable by
+            // construction; keep those cells crash-free instead of
+            // polluting the matrix with guaranteed losses.
+            if (IV == 0)
+              S.Faults.CrashRate = 0;
+            S.CheckpointInterval = IV;
+            S.Threads = T == 0 ? 1 : T;
+            S.Engine = Eng;
+            Out.push_back(std::move(S));
+          }
   return Out;
+}
+
+std::chrono::steady_clock::duration dmcc::boundedSeconds(double Seconds) {
+  // NaN fails every comparison, so `!(Seconds > 0)` also catches it.
+  if (!(Seconds > 0))
+    return {};
+  // steady_clock counts nanoseconds in 63 bits (~292 years); casting a
+  // double beyond that range is undefined behavior, not a saturated
+  // deadline. ~31 years is far past any plausible watchdog or backoff.
+  constexpr double MaxSeconds = 1e9;
+  if (Seconds > MaxSeconds)
+    Seconds = MaxSeconds;
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(Seconds));
+}
+
+double dmcc::clampedBackoffSeconds(double FirstSeconds, unsigned Attempt) {
+  constexpr double MaxBackoffSeconds = 60;
+  double Back = FirstSeconds;
+  for (unsigned K = 1; K < Attempt && Back < MaxBackoffSeconds; ++K)
+    Back *= 2;
+  return Back < MaxBackoffSeconds ? Back : MaxBackoffSeconds;
 }
 
 Fleet::Fleet(const Program &Prog, const CompiledProgram &Comp,
@@ -259,6 +294,7 @@ SimOptions Fleet::scenarioOptions(const FleetScenario &S) const {
   SO.Faults = S.Faults;
   SO.Checkpoint.IntervalSteps = S.CheckpointInterval;
   SO.Threads = S.Threads;
+  SO.Engine = S.Engine;
   return SO;
 }
 
@@ -443,9 +479,7 @@ FleetReport Fleet::run(const std::vector<FleetScenario> &Matrix) {
     }
     Sh.Pid = Pid;
     Sh.Fd = Fds[0];
-    Sh.Deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                     std::chrono::duration<double>(
-                                         FO.TimeoutSeconds));
+    Sh.Deadline = Clock::now() + boundedSeconds(FO.TimeoutSeconds);
   };
 
   unsigned Remaining =
@@ -486,12 +520,9 @@ FleetReport Fleet::run(const std::vector<FleetScenario> &Matrix) {
     ScenarioOutcome &O = Rep.Outcomes[Sh.Cur];
     O.LastFailure = std::move(Why);
     if (Sh.Attempt <= FO.MaxRetries) {
-      double Back = FO.RetryBackoffSeconds;
-      for (unsigned K = 1; K < Sh.Attempt; ++K)
-        Back *= 2;
-      Sh.NextSpawn = Clock::now() +
-                     std::chrono::duration_cast<Clock::duration>(
-                         std::chrono::duration<double>(Back));
+      Sh.NextSpawn =
+          Clock::now() + boundedSeconds(clampedBackoffSeconds(
+                             FO.RetryBackoffSeconds, Sh.Attempt));
       return;
     }
     ScenarioOutcome Fin;

@@ -36,6 +36,7 @@
 
 #include "sim/Simulator.h"
 
+#include <chrono>
 #include <set>
 #include <string>
 #include <vector>
@@ -49,6 +50,9 @@ struct FleetScenario {
   FaultOptions Faults;      ///< fault schedule, incl. Seed and CrashSeed
   uint64_t CheckpointInterval = 0; ///< logical steps; 0 = no checkpoints
   unsigned Threads = 1;     ///< simulator engine: 1 = sequential
+  /// Scheduler choice (DESIGN.md §14); SimEngine::Event implies
+  /// Threads == 1 (buildMatrix never emits the invalid combination).
+  SimEngine Engine = SimEngine::Rounds;
 };
 
 /// Final classification of one scenario after supervision.
@@ -143,6 +147,10 @@ struct FleetMatrixSpec {
   std::vector<uint64_t> CrashSeeds;           ///< default: {0}
   std::vector<uint64_t> CheckpointIntervals;  ///< default: {0}
   std::vector<unsigned> ThreadCounts;         ///< default: {1}
+  /// Scheduler axis; default: {SimEngine::Rounds}. The event engine is
+  /// single-threaded, so event cells are emitted only for the thread
+  /// count 1 (other counts are skipped, keeping indices contiguous).
+  std::vector<SimEngine> Engines;
   /// Rates shared by every scenario (Seed/CrashSeed overwritten per
   /// cell). CrashRate is zeroed in cells without checkpointing, where
   /// a crash would be unrecoverable by construction.
@@ -151,6 +159,20 @@ struct FleetMatrixSpec {
 
 /// Expands \p Spec's cross product into an indexed scenario list.
 std::vector<FleetScenario> buildMatrix(const FleetMatrixSpec &Spec);
+
+/// Saturating conversion from a seconds value to a steady_clock
+/// duration for deadline arithmetic: NaN and non-positive inputs map to
+/// zero, and anything above ~31 years pins at that cap — so
+/// `Clock::now() + boundedSeconds(x)` can never shift past the clock's
+/// 63-bit nanosecond range (duration_cast of an unrepresentable double
+/// is undefined behavior, not merely a wrong deadline).
+std::chrono::steady_clock::duration boundedSeconds(double Seconds);
+
+/// Exponential respawn backoff, clamped: \p FirstSeconds doubles per
+/// prior attempt but never exceeds 60 s, so an arbitrarily large retry
+/// count cannot overflow the doubling into inf or push a deadline past
+/// the clock range. Attempt counts from 0/1 (first spawn) upward.
+double clampedBackoffSeconds(double FirstSeconds, unsigned Attempt);
 
 /// The fleet orchestrator. Holds the once-compiled program; run() fans
 /// a scenario list across the worker pool and aggregates the report.

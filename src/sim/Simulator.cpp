@@ -12,6 +12,7 @@
 #include <mutex>
 #include <set>
 #include <thread>
+#include <unordered_map>
 
 using namespace dmcc;
 
@@ -164,6 +165,7 @@ struct Simulator::StepCtx {
   bool GateCheckpoints = true;
   uint64_t Round = 0;          ///< scheduler round (message tagging)
   ThreadEngine *TE = nullptr;  ///< non-null in threaded runs
+  EventEngine *EE = nullptr;   ///< non-null under the event scheduler
 };
 
 /// The threaded engine: a persistent pool of worker threads, one round
@@ -341,8 +343,7 @@ struct Simulator::ThreadEngine {
       // trigger for the whole round in the sequential engine too, so
       // running the gate-free parallel path is exact.
       Serial = S.NextCheckpointEvents != 0 &&
-               S.Events + static_cast<uint64_t>(S.Procs.size()) *
-                              S.sliceBudget() >=
+               addSat(S.Events, mulSat(S.Procs.size(), S.sliceBudget())) >=
                    S.NextCheckpointEvents;
       DoneWorkers = 0;
     }
@@ -371,6 +372,201 @@ struct Simulator::ThreadEngine {
     }
     if (S.Events > S.Opts.MaxEvents)
       fatalError("simulation event budget exhausted");
+    return F;
+  }
+};
+
+/// The discrete-event scheduler (DESIGN.md §14). The sequential engine
+/// sweeps every virtual processor every round; at P >= 1024 most of
+/// those slices are blocked receive attempts — pure no-ops that rewind
+/// their own step counters and touch nothing else. This engine executes
+/// the exact same statement sequence while skipping the provable
+/// no-ops: a blocked receiver parks in a per-channel hash bucket
+/// (WaitTable) and only the send that pushes onto its channel can make
+/// its next attempt differ, so the push wakes it in O(1) and nothing
+/// else ever reschedules it. Ascending-index pops plus the wake rule
+/// below reproduce the sequential intra-round visibility exactly, which
+/// is what makes the results — clocks, counters, arrays, diagnostics —
+/// bit-identical (the determinism argument is spelled out in §14).
+struct Simulator::EventEngine {
+  Simulator &S;
+
+  /// SplitMix64-style hash over a channel key, for the wait buckets.
+  /// The durable Queues map stays an ordered std::map (serialization
+  /// order is part of the on-disk format); this hash is auxiliary.
+  struct KeyHash {
+    size_t operator()(const std::vector<IntT> &K) const {
+      uint64_t H = 0x9e3779b97f4a7c15ull;
+      for (IntT X : K) {
+        uint64_t V = static_cast<uint64_t>(X) + 0x9e3779b97f4a7c15ull;
+        V = (V ^ (V >> 30)) * 0xbf58476d1ce4e5b9ull;
+        V = (V ^ (V >> 27)) * 0x94d049bb133111ebull;
+        H ^= (V ^ (V >> 31)) + (H << 6) + (H >> 2);
+      }
+      return static_cast<size_t>(H);
+    }
+  };
+
+  /// Processors runnable this round / next round. Ordered sets: the
+  /// round drains RunQ in ascending flat index, which IS the sequential
+  /// sweep order restricted to non-skippable slices.
+  std::set<unsigned> RunQ, NextQ;
+  /// Channel key -> the one processor blocked receiving on it (a key
+  /// names its receiver coordinate, so at most one waiter per key).
+  std::unordered_map<std::vector<IntT>, unsigned, KeyHash> WaitTable;
+  /// Inverse of WaitTable for cleanup; empty when the proc is not
+  /// parked. Every live unfinished processor is in exactly one of
+  /// RunQ, NextQ or WaitTable.
+  std::vector<std::vector<IntT>> WaitKeyOf;
+  unsigned Running = 0; ///< proc whose slice is executing
+  bool InRound = false;
+  uint64_t FinishedCount = 0, DeadCount = 0;
+
+  explicit EventEngine(Simulator &S) : S(S) { reset(); }
+
+  /// Rebuild the scheduler state from the processor flags — at
+  /// construction (possibly after a durable resume) and after a
+  /// rollback, which reincarnates dead processors and unblocks all.
+  void reset() {
+    RunQ.clear();
+    NextQ.clear();
+    WaitTable.clear();
+    WaitKeyOf.assign(S.Procs.size(), {});
+    FinishedCount = DeadCount = 0;
+    InRound = false;
+    for (const VirtProc &V : S.Procs) {
+      if (V.Finished)
+        ++FinishedCount;
+      else
+        RunQ.insert(V.Id);
+    }
+  }
+
+  /// A message landed on \p Key: if its receiver is parked, its next
+  /// attempt is no longer a provable no-op — reschedule it. A waiter
+  /// with an index above the running processor re-enters the CURRENT
+  /// round (ascending pops have not reached it, exactly as the
+  /// sequential sweep had not); at or below, it sees the message next
+  /// round, matching the sequential engine's intra-round visibility.
+  void notifyPush(const std::vector<IntT> &Key) {
+    auto It = WaitTable.find(Key);
+    if (It == WaitTable.end())
+      return;
+    unsigned W = It->second;
+    WaitTable.erase(It);
+    WaitKeyOf[W].clear();
+    if (InRound && W > Running)
+      RunQ.insert(W);
+    else
+      NextQ.insert(W);
+  }
+
+  /// Visits \p Id's processor with the checkpoint gate already crossed,
+  /// exactly as the sequential sweep does: the slice performs only
+  /// frame maintenance (popping exhausted frames, advancing loop
+  /// cursors) before gate-returning with zero executed statements. It
+  /// cannot block or crash (the gate check precedes both), but it CAN
+  /// finish — and it trims the stack, which checkpoint snapshots
+  /// serialize, so skipping the visit would change CheckpointBytes and
+  /// the per-phys checkpoint cost.
+  void gateVisit(unsigned Id) {
+    VirtProc &V = S.Procs[Id];
+    V.Blocked = false;
+    StepCtx Ctx{S.Ctr, S.Failures, S.CrashLog};
+    Ctx.EventsBase = S.Events;
+    Ctx.EE = this;
+    S.stepProc(V, Ctx);
+    S.Events += Ctx.Executed; // always zero past the gate
+    if (V.Finished)
+      ++FinishedCount;
+  }
+
+  /// One scheduler round: the sequential round with the skippable
+  /// slices skipped. Flags are computed from the standing counts so
+  /// the boundary logic in run() is shared verbatim across engines.
+  RoundFlags runRound() {
+    RoundFlags F;
+    // A round starting with the checkpoint gate already tripped (a dead
+    // processor made run() skip the boundary checkpoint): every slice
+    // of the sequential sweep gate-returns after frame maintenance.
+    // Replicate the visits for the runnable processors; parked ones
+    // have no pending maintenance (their cursor rests on the receive
+    // statement) and must keep Blocked — reportStall reads the flag if
+    // the rollback budget later runs out, and a parked processor is
+    // never revisited to set it back.
+    if (S.NextCheckpointEvents != 0 && S.Events >= S.NextCheckpointEvents) {
+      std::vector<unsigned> Runnable(RunQ.begin(), RunQ.end());
+      for (unsigned Id : Runnable) {
+        gateVisit(Id);
+        if (S.Procs[Id].Finished)
+          RunQ.erase(Id);
+      }
+      F.Progress = false;
+      F.AllDone = FinishedCount == S.Procs.size();
+      F.AnyDead = DeadCount > 0;
+      return F;
+    }
+    InRound = true;
+    bool GateCut = false;
+    while (!RunQ.empty()) {
+      Running = *RunQ.begin();
+      RunQ.erase(RunQ.begin());
+      VirtProc &V = S.Procs[Running];
+      V.Blocked = false;
+      StepCtx Ctx{S.Ctr, S.Failures, S.CrashLog};
+      Ctx.EventsBase = S.Events;
+      Ctx.EE = this;
+      if (S.stepProc(V, Ctx))
+        F.Progress = true;
+      S.Events += Ctx.Executed;
+      if (V.Crashed) {
+        ++DeadCount; // parked nowhere until the rollback reset
+      } else if (V.Finished) {
+        ++FinishedCount;
+      } else if (V.Blocked) {
+        // Park on the channel the receive is stuck on; the key layout
+        // matches the one the Recv path builds (comm id, sender coord,
+        // own coord).
+        std::vector<IntT> Key;
+        Key.reserve(1 + V.LastBlock.Peer.size() + V.Coord.size());
+        Key.push_back(static_cast<IntT>(V.LastBlock.CommId));
+        Key.insert(Key.end(), V.LastBlock.Peer.begin(),
+                   V.LastBlock.Peer.end());
+        Key.insert(Key.end(), V.Coord.begin(), V.Coord.end());
+        WaitKeyOf[Running] = Key;
+        WaitTable.emplace(std::move(Key), Running);
+      } else {
+        NextQ.insert(Running); // slice budget spent, still runnable
+      }
+      // Checkpoint gate: once the trigger is reached, every remaining
+      // slice of the sequential round gate-returns without executing a
+      // statement — but still does frame maintenance. Stop the drain
+      // and fall through to the gate sweep below.
+      if (S.NextCheckpointEvents != 0 &&
+          S.Events >= S.NextCheckpointEvents) {
+        GateCut = true;
+        break;
+      }
+    }
+    InRound = false;
+    if (GateCut) {
+      // The sequential sweep still visits the processors above the cut
+      // point (RunQ drains in ascending index, so the remnant is
+      // exactly those). Each visit trims the stack and may finish the
+      // processor; survivors run for real next round. Parked
+      // processors' gated visits are no-ops beyond the Blocked flag,
+      // which must stay set (see the gated-start branch above).
+      std::vector<unsigned> Remnant(RunQ.begin(), RunQ.end());
+      RunQ.clear();
+      for (unsigned Id : Remnant) {
+        gateVisit(Id);
+        if (!S.Procs[Id].Finished)
+          NextQ.insert(Id);
+      }
+    }
+    std::swap(RunQ, NextQ); // NextQ is empty after the drain
+    F.AllDone = FinishedCount == S.Procs.size();
+    F.AnyDead = DeadCount > 0;
     return F;
   }
 };
@@ -905,7 +1101,7 @@ bool Simulator::stepProc(VirtProc &V, StepCtx &Ctx) {
     }
     const SpmdStmt &St = (*F.List)[F.Pos];
     if (Ctx.GateCheckpoints && NextCheckpointEvents != 0 &&
-        Ctx.EventsBase + Ctx.Executed >= NextCheckpointEvents)
+        addSat(Ctx.EventsBase, Ctx.Executed) >= NextCheckpointEvents)
       // A checkpoint is due: pause at this statement boundary so the
       // scheduler can draw the line once every processor has yielded.
       return Ran;
@@ -922,7 +1118,7 @@ bool Simulator::stepProc(VirtProc &V, StepCtx &Ctx) {
       return Ran;
     }
     ++Ctx.Executed;
-    if (Ctx.EventsBase + Ctx.Executed > Opts.MaxEvents)
+    if (addSat(Ctx.EventsBase, Ctx.Executed) > Opts.MaxEvents)
       fatalError("simulation event budget exhausted");
     ++V.Steps;
     switch (St.K) {
@@ -1062,9 +1258,13 @@ bool Simulator::stepProc(VirtProc &V, StepCtx &Ctx) {
             ++Ctx.C.DuplicatesSuppressed;
           } else {
             Queues[Key].push_back(std::move(M));
+            if (Ctx.EE)
+              Ctx.EE->notifyPush(Key);
           }
         } else {
           Queues[Key].push_back(std::move(M));
+          if (Ctx.EE)
+            Ctx.EE->notifyPush(Key);
         }
       } else if (Faults.active()) {
         // Reliable transport: stop-and-wait per packet with acks and
@@ -1105,11 +1305,15 @@ bool Simulator::stepProc(VirtProc &V, StepCtx &Ctx) {
              static_cast<double>(M.WordCount) *
                  Opts.Cost.WireTimePerWord) *
             LinkF;
-        unsigned MaxAttempts = Opts.Faults.MaxRetries + 1;
+        // Widened: MaxRetries == UINT_MAX must mean "retry forever",
+        // not wrap MaxAttempts to 0 (which skipped the attempt loop,
+        // silently dropped the packet, and underflowed Made - 1 below).
+        const uint64_t MaxAttempts =
+            static_cast<uint64_t>(Opts.Faults.MaxRetries) + 1;
         unsigned Made = 0;
         bool Delivered = false, Acked = false;
         double Offset = 0; // accumulated backoff before each attempt
-        for (unsigned A = 0; A != MaxAttempts && !Acked; ++A) {
+        for (uint64_t A = 0; A != MaxAttempts && !Acked; ++A) {
           Offset += Faults.backoffDelay(A);
           ++Made;
           if (Faults.partitioned(Chan, Seq, A)) {
@@ -1138,6 +1342,8 @@ bool Simulator::stepProc(VirtProc &V, StepCtx &Ctx) {
             Copy.ReadyTime = Start + Offset + SendCost + DeliverLat +
                              Faults.deliveryDelay(Chan, Seq, A, 0);
             Queues[Key].push_back(std::move(Copy));
+            if (Ctx.EE)
+              Ctx.EE->notifyPush(Key);
           }
           ++Ctx.C.AcksSent; // the receiver acknowledges this copy
           if (Faults.duplicate(Chan, Seq, A)) {
@@ -1148,6 +1354,8 @@ bool Simulator::stepProc(VirtProc &V, StepCtx &Ctx) {
               Dup.ReadyTime = Start + Offset + SendCost + DeliverLat +
                               Faults.deliveryDelay(Chan, Seq, A, 1);
               Queues[Key].push_back(std::move(Dup));
+              if (Ctx.EE)
+                Ctx.EE->notifyPush(Key);
             }
             ++Ctx.C.AcksSent;
           }
@@ -1185,6 +1393,8 @@ bool Simulator::stepProc(VirtProc &V, StepCtx &Ctx) {
         M.ReadyTime = V.BurstReady;
         auto CG = ChanGuard();
         Queues[Key].push_back(std::move(M));
+        if (Ctx.EE)
+          Ctx.EE->notifyPush(Key);
       } else {
         const bool ExtraDest = InBurst && !V.BurstPhys.empty();
         double C;
@@ -1231,6 +1441,8 @@ bool Simulator::stepProc(VirtProc &V, StepCtx &Ctx) {
         V.BurstReady = M.ReadyTime;
         auto CG = ChanGuard();
         Queues[Key].push_back(std::move(M));
+        if (Ctx.EE)
+          Ctx.EE->notifyPush(Key);
       }
       V.LastMulticastComm = St.IsMulticast ? static_cast<int>(St.CommId)
                                            : -1;
@@ -1425,6 +1637,9 @@ Simulator::RoundFlags Simulator::runRoundSequential() {
 SimResult Simulator::run() {
   SimResult R;
   const bool Recovery = Opts.Checkpoint.enabled();
+  if (Opts.Engine == SimEngine::Event && Opts.Threads != 1)
+    fatalError("Simulator: the event engine is single-threaded; "
+               "SimEngine::Event requires Threads == 1");
   const unsigned Workers = effectiveWorkers();
   std::unique_ptr<ThreadEngine> TE;
   if (Workers > 1)
@@ -1441,8 +1656,15 @@ SimResult Simulator::run() {
           resumeFromDurable(R)))
       takeCheckpoint(R, /*Initial=*/true);
   }
+  // Built after the prologue: a durable resume changes which processors
+  // are already finished, and reset() reads those flags.
+  std::unique_ptr<EventEngine> EE;
+  if (Opts.Engine == SimEngine::Event)
+    EE = std::make_unique<EventEngine>(*this);
   while (true) {
-    RoundFlags F = TE ? TE->runRound() : runRoundSequential();
+    RoundFlags F = TE   ? TE->runRound()
+                   : EE ? EE->runRound()
+                        : runRoundSequential();
     if (F.AllDone) {
       R.Ok = true;
       break;
@@ -1463,6 +1685,8 @@ SimResult Simulator::run() {
       if (F.AnyDead && Recovery &&
           R.Recovery.Rollbacks < Opts.Checkpoint.MaxRollbacks) {
         restoreCheckpoint(R);
+        if (EE)
+          EE->reset(); // everyone reincarnated and unblocked
         continue;
       }
       reportStall(R);
@@ -1573,9 +1797,10 @@ void Simulator::takeCheckpoint(SimResult &R, bool Initial) {
 
   uint64_t TotalWords = 0;
   for (uint64_t W : WordsPerPhys)
-    TotalWords += W;
+    TotalWords = addSat(TotalWords, W);
   ++R.Recovery.CheckpointsTaken;
-  R.Recovery.CheckpointBytes += TotalWords * 8;
+  R.Recovery.CheckpointBytes =
+      addSat(R.Recovery.CheckpointBytes, mulSat(TotalWords, 8));
 
   if (!Initial) {
     // Coordinated: every processor synchronizes at the line, then
@@ -1599,7 +1824,10 @@ void Simulator::takeCheckpoint(SimResult &R, bool Initial) {
   CK->BusyCheckpoint = BusyCheckpoint;
 
   Stable = std::move(CK);
-  NextCheckpointEvents = Events + Opts.Checkpoint.IntervalSteps;
+  // Saturating: an interval near 2^64 must disable further triggers,
+  // not wrap the trigger behind Events (a permanently-armed gate turns
+  // every subsequent round into a checkpoint livelock).
+  NextCheckpointEvents = addSat(Events, Opts.Checkpoint.IntervalSteps);
   ReplayBaseEvents = Events;
 
   // Durable mode (DESIGN.md §13): the line just drawn also goes to the
@@ -1695,7 +1923,7 @@ void Simulator::restoreCheckpoint(SimResult &R) {
     RecoveryExtraSeconds += C;
   }
   ReplayBaseEvents = Events;
-  NextCheckpointEvents = Events + Opts.Checkpoint.IntervalSteps;
+  NextCheckpointEvents = addSat(Events, Opts.Checkpoint.IntervalSteps);
 }
 
 //===----------------------------------------------------------------------===//
@@ -2183,7 +2411,7 @@ bool Simulator::resumeFromDurable(SimResult &R) {
     Img->EventsAtTaken = Events;
     Img->WordsPerPhys = Wpp;
     Stable = std::move(Img);
-    NextCheckpointEvents = Events + Opts.Checkpoint.IntervalSteps;
+    NextCheckpointEvents = addSat(Events, Opts.Checkpoint.IntervalSteps);
     ReplayBaseEvents = Events;
     return true;
   };

@@ -49,6 +49,19 @@
 /// so every result — values, costs, diagnostics, recovery telemetry —
 /// is bit-identical to the sequential engine for every seed.
 ///
+/// SimOptions::Engine == SimEngine::Event replaces the per-round sweep
+/// over every virtual processor with a discrete-event scheduler
+/// (DESIGN.md §14): only runnable processors are visited, a blocked
+/// receiver parks in a per-(dest, tag) hash bucket and is woken in O(1)
+/// by the send that can satisfy it, and checkpoint barriers are
+/// amortized by cutting the round at the first gated slice instead of
+/// sweeping the remaining processors through no-op slices. Because a
+/// blocked receive attempt is side-effect-free, skipping it preserves
+/// the exact sequential statement order — the event engine is
+/// bit-identical to the round engines for every program, fault, crash
+/// and checkpoint schedule, at a fraction of the scheduling cost when
+/// most processors are waiting (the regime at P >= 1024).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DMCC_SIM_SIMULATOR_H
@@ -130,6 +143,17 @@ struct CheckpointOptions {
   bool durable() const { return enabled() && !DurableDir.empty(); }
 };
 
+/// Which scheduler drives the virtual processors (SimOptions::Engine).
+enum class SimEngine {
+  /// Global rounds: the sequential sweep (Threads == 1) or the
+  /// barrier-synchronized thread pool (Threads > 1).
+  Rounds,
+  /// Discrete-event virtual-clock queue (DESIGN.md §14): processors are
+  /// scheduled only when runnable, blocked receivers wake in O(1) via
+  /// per-channel hash buckets. Single-threaded; Threads must be 1.
+  Event,
+};
+
 /// Simulation configuration.
 struct SimOptions {
   /// Physical processors along each grid dimension.
@@ -167,6 +191,11 @@ struct SimOptions {
   /// to the sequential engine for every program, cost model, fault and
   /// crash schedule; 0 picks min(hardware concurrency, physical procs).
   unsigned Threads = 1;
+  /// Scheduler choice (DESIGN.md §14). SimEngine::Event is
+  /// single-threaded by design; combining it with Threads != 1 is a
+  /// configuration error (run() aborts, dmcc-cli rejects it as a usage
+  /// error). Results are bit-identical across engines.
+  SimEngine Engine = SimEngine::Rounds;
 };
 
 /// Logical counters accumulated during execution. The sequential engine
@@ -389,6 +418,9 @@ private:
   /// Worker pool, round barrier and wavefront synchronization for the
   /// threaded engine (DESIGN.md §10).
   struct ThreadEngine;
+  /// Discrete-event scheduler: run queues, per-channel wait buckets and
+  /// the O(1) wake rule (DESIGN.md §14).
+  struct EventEngine;
   /// Merged outcome of one scheduler round.
   struct RoundFlags {
     bool Progress = false, AllDone = true, AnyDead = false;

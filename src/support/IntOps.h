@@ -64,6 +64,22 @@ inline IntT absChk(IntT A) {
   return A < 0 ? -A : A;
 }
 
+/// Returns \p A + \p B saturated at UINT64_MAX instead of wrapping.
+/// For monotonic clock-like unsigned counters (event budgets, byte
+/// totals) where the max reads as "never"/"unbounded": a checkpoint
+/// interval near 2^64 must push the next trigger past the horizon, not
+/// wrap it behind the current step count.
+inline uint64_t addSat(uint64_t A, uint64_t B) {
+  uint64_t R;
+  return __builtin_add_overflow(A, B, &R) ? UINT64_MAX : R;
+}
+
+/// Returns \p A * \p B saturated at UINT64_MAX instead of wrapping.
+inline uint64_t mulSat(uint64_t A, uint64_t B) {
+  uint64_t R;
+  return __builtin_mul_overflow(A, B, &R) ? UINT64_MAX : R;
+}
+
 /// Returns gcd(|A|, |B|); gcd(0, 0) == 0.
 IntT gcdInt(IntT A, IntT B);
 

@@ -12,8 +12,11 @@
 #include "sim/Fleet.h"
 #include "support/StableStore.h"
 
+#include <climits>
+#include <cmath>
 #include <cstdio>
 #include <gtest/gtest.h>
+#include <limits>
 #include <unistd.h>
 
 using namespace dmcc;
@@ -382,5 +385,82 @@ TEST(Fleet, BuildMatrixDefaultsToOneCleanCell) {
   EXPECT_EQ(M[0].Index, 0u);
   EXPECT_EQ(M[0].Threads, 1u);
   EXPECT_EQ(M[0].CheckpointInterval, 0u);
+  EXPECT_EQ(M[0].Engine, SimEngine::Rounds);
   EXPECT_FALSE(M[0].Faults.faulty());
+}
+
+TEST(Fleet, BuildMatrixEmitsEventCellsOnlySingleThreaded) {
+  // The engines axis: event cells exist only at thread count 1 (the
+  // event scheduler is single-threaded), and indices stay contiguous.
+  FleetMatrixSpec MS;
+  MS.FaultSeeds = {1, 2};
+  MS.ThreadCounts = {1, 2, 4};
+  MS.Engines = {SimEngine::Rounds, SimEngine::Event};
+  std::vector<FleetScenario> M = buildMatrix(MS);
+  // 2 seeds x (3 rounds cells + 1 event cell) = 8.
+  ASSERT_EQ(M.size(), 8u);
+  unsigned EventCells = 0;
+  for (size_t I = 0; I != M.size(); ++I) {
+    EXPECT_EQ(M[I].Index, static_cast<unsigned>(I));
+    if (M[I].Engine == SimEngine::Event) {
+      ++EventCells;
+      EXPECT_EQ(M[I].Threads, 1u);
+    }
+  }
+  EXPECT_EQ(EventCells, 2u);
+}
+
+TEST(Fleet, EventEngineScenariosHashIdenticalToTheCleanRun) {
+  // Event-engine cells through the full fork/supervise/hash pipeline:
+  // every survivor must be bit-identical to the clean sequential run.
+  FleetEnv E;
+  FleetMatrixSpec MS;
+  MS.FaultSeeds = {1, 2};
+  MS.CheckpointIntervals = {0, 4096};
+  MS.Engines = {SimEngine::Event};
+  MS.Base.DropRate = 0.05;
+  MS.Base.CrashRate = 5e-4;
+  MS.Base.CrashSeed = 7;
+  std::vector<FleetScenario> Matrix = buildMatrix(MS);
+  ASSERT_EQ(Matrix.size(), 4u);
+  FleetOptions FO;
+  FO.Jobs = 2;
+  FO.TimeoutSeconds = 60;
+  Fleet F = E.make(FO);
+  FleetReport Rep = F.run(Matrix);
+  ASSERT_EQ(Rep.Outcomes.size(), 4u);
+  EXPECT_EQ(Rep.count(ScenarioStatus::Ok), 4u);
+  for (const ScenarioOutcome &O : Rep.Outcomes)
+    EXPECT_EQ(O.ResultHash, Rep.GoldenHash)
+        << "scenario " << O.Scn.Index << " diverged";
+  EXPECT_NE(Rep.json().find("\"engine\": \"event\""), std::string::npos);
+}
+
+TEST(Fleet, BackoffAndDeadlineArithmeticIsClamped) {
+  // Regression: the respawn backoff doubled unboundedly (2^attempt
+  // overflows any clock for large budgets) and the watchdog deadline
+  // cast an unchecked double into steady_clock ticks — UB past 63 bits
+  // of nanoseconds. Both paths are now saturating and pinned here.
+  EXPECT_EQ(clampedBackoffSeconds(0.05, 0), 0.05);
+  EXPECT_EQ(clampedBackoffSeconds(0.05, 1), 0.05);
+  EXPECT_EQ(clampedBackoffSeconds(0.05, 2), 0.10);
+  EXPECT_EQ(clampedBackoffSeconds(0.05, 3), 0.20);
+  EXPECT_EQ(clampedBackoffSeconds(0.05, 64), 60.0);
+  EXPECT_EQ(clampedBackoffSeconds(0.05, UINT_MAX), 60.0);
+  EXPECT_EQ(clampedBackoffSeconds(1e300, 2), 60.0);
+
+  using Dur = std::chrono::steady_clock::duration;
+  EXPECT_EQ(boundedSeconds(0.0), Dur::zero());
+  EXPECT_EQ(boundedSeconds(-5.0), Dur::zero());
+  EXPECT_EQ(boundedSeconds(std::nan("")), Dur::zero());
+  EXPECT_EQ(boundedSeconds(1.5),
+            std::chrono::duration_cast<Dur>(
+                std::chrono::milliseconds(1500)));
+  // Anything huge pins at the ~31-year cap instead of overflowing the
+  // 63-bit tick range (1e18 s would be ~2^93 ns).
+  Dur Cap = boundedSeconds(1e9);
+  EXPECT_EQ(boundedSeconds(1e18), Cap);
+  EXPECT_EQ(boundedSeconds(std::numeric_limits<double>::infinity()),
+            Cap);
+  EXPECT_GT(Cap, Dur::zero());
 }

@@ -14,6 +14,12 @@
 //                            OS threads (0 = hardware concurrency;
 //                            default 1 = sequential engine); results are
 //                            bit-identical at every thread count
+//     --sim-engine E         scheduler: 'rounds' (default; sequential
+//                            or threaded global rounds) or 'event'
+//                            (discrete-event queue, single-threaded,
+//                            built for P >= 1024); accepts
+//                            --sim-engine=E too; results are
+//                            bit-identical across engines
 //     --functional           simulate with real arithmetic and verify
 //                            against sequential execution
 //     --param NAME=VALUE     parameter binding (repeatable; defaults
@@ -140,8 +146,9 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s FILE [--print-program] [--print-lwt] "
                "[--print-comm] [--print-spmd]\n"
-               "       [--simulate P] [--sim-threads N] [--functional] "
-               "[--param N=V]...\n"
+               "       [--simulate P] [--sim-threads N] "
+               "[--sim-engine rounds|event] [--functional]\n"
+               "       [--param N=V]...\n"
                "       [--no-self-reuse] [--no-group-reuse] "
                "[--no-multicast] [--no-aggressive]\n"
                "       [--early-sends]\n"
@@ -199,6 +206,7 @@ int main(int Argc, char **Argv) {
   bool PrintSpmd = false, Functional = false, PrintStats = false;
   IntT SimProcs = 0;
   unsigned SimThreads = 1;
+  std::string SimEngineName = "rounds";
   bool SimulateGiven = false, CheckpointGiven = false;
   long long MaxRetriesRaw = -1;
   CompilerOptions Opts;
@@ -249,6 +257,10 @@ int main(int Argc, char **Argv) {
       SimulateGiven = true;
     } else if (std::strcmp(A, "--sim-threads") == 0 && I + 1 < Argc)
       SimThreads = static_cast<unsigned>(std::atoll(Argv[++I]));
+    else if (std::strcmp(A, "--sim-engine") == 0 && I + 1 < Argc)
+      SimEngineName = Argv[++I];
+    else if (std::strncmp(A, "--sim-engine=", 13) == 0)
+      SimEngineName = A + 13;
     else if (std::strcmp(A, "--fault-seed") == 0 && I + 1 < Argc)
       Faults.Seed = std::strtoull(Argv[++I], nullptr, 10);
     else if (std::strcmp(A, "--drop-rate") == 0 && I + 1 < Argc)
@@ -302,7 +314,8 @@ int main(int Argc, char **Argv) {
       // problem instead of claiming the option is unknown.
       static const char *const ValueFlags[] = {
           "--simulate",       "--sim-threads",
-          "--node-budget",    "--fault-seed",
+          "--sim-engine",     "--node-budget",
+          "--fault-seed",
           "--drop-rate",      "--dup-rate",
           "--max-delay",      "--corrupt-rate",
           "--partition-rate", "--partition-outage",
@@ -346,6 +359,24 @@ int main(int Argc, char **Argv) {
   if (MaxRetriesRaw != -1 &&
       badNonNegative("--max-retries", static_cast<double>(MaxRetriesRaw)))
     return ExitUsage;
+  SimEngine Engine = SimEngine::Rounds;
+  if (SimEngineName == "event")
+    Engine = SimEngine::Event;
+  else if (SimEngineName != "rounds") {
+    std::fprintf(stderr,
+                 "error: --sim-engine expects 'rounds' or 'event', got "
+                 "'%s'\n",
+                 SimEngineName.c_str());
+    return ExitUsage;
+  }
+  if (Engine == SimEngine::Event && SimThreads != 1) {
+    std::fprintf(stderr,
+                 "error: --sim-engine event is single-threaded; it "
+                 "cannot be combined with --sim-threads %u (use "
+                 "--sim-engine rounds for the threaded engine)\n",
+                 SimThreads);
+    return ExitUsage;
+  }
   if (SimulateGiven && SimProcs < 1) {
     std::fprintf(stderr,
                  "error: --simulate needs a processor count >= 1, got "
@@ -470,6 +501,7 @@ int main(int Argc, char **Argv) {
     SO.Faults = Faults;
     SO.Checkpoint = Checkpoint;
     SO.Threads = SimThreads;
+    SO.Engine = Engine;
     Simulator Sim(P, CP, SP.Spec, SO);
     SimResult R = Sim.run();
     const DurableResumeInfo &RI = Sim.resumeInfo();

@@ -21,6 +21,9 @@
 //                            in those cells)                 (def 0,64)
 //     --threads LIST         comma-separated engine thread counts
 //                            (1 = sequential)                (def 1,2)
+//     --engines LIST         comma-separated scheduler engines from
+//                            {rounds, event}; event cells run only at
+//                            thread count 1                (def rounds)
 //
 //   Base fault rates applied to every scenario:
 //     --drop-rate R --dup-rate R --corrupt-rate R --partition-rate R
@@ -75,6 +78,7 @@ int usage(const char *Argv0) {
       "usage: %s FILE [--procs P] [--param N=V]...\n"
       "       [--fault-seeds N] [--crash-seeds N]\n"
       "       [--checkpoint-intervals LIST] [--threads LIST]\n"
+      "       [--engines LIST]\n"
       "       [--drop-rate R] [--dup-rate R] [--corrupt-rate R]\n"
       "       [--partition-rate R] [--partition-outage N]\n"
       "       [--slow-link-rate R] [--slow-link-factor F]\n"
@@ -178,6 +182,33 @@ int main(int Argc, char **Argv) {
       MS.ThreadCounts.clear();
       for (uint64_t T : L)
         MS.ThreadCounts.push_back(static_cast<unsigned>(T ? T : 1));
+    } else if (std::strcmp(A, "--engines") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      MS.Engines.clear();
+      const char *C = V;
+      while (*C) {
+        const char *End = C;
+        while (*End && *End != ',')
+          ++End;
+        std::string Name(C, End - C);
+        if (Name == "rounds")
+          MS.Engines.push_back(SimEngine::Rounds);
+        else if (Name == "event")
+          MS.Engines.push_back(SimEngine::Event);
+        else {
+          std::fprintf(stderr,
+                       "error: --engines expects a comma-separated list "
+                       "of 'rounds'/'event', got '%s'\n",
+                       V);
+          return ExitUsage;
+        }
+        C = *End ? End + 1 : End;
+      }
+      if (MS.Engines.empty()) {
+        std::fprintf(stderr, "error: --engines got an empty list\n");
+        return ExitUsage;
+      }
     } else if (std::strcmp(A, "--drop-rate") == 0) {
       if (!(V = Value(A)))
         return ExitUsage;
