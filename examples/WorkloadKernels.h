@@ -1,0 +1,137 @@
+//===- examples/WorkloadKernels.h - Reference workload kernels -*- C++ -*-===//
+//
+// Part of dmcc, a reproduction of Amarasinghe & Lam, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain-C++ reference kernels matching the workload specs under
+/// examples/ (cholesky.dm, jacobi2d.dm, jacobi3d.dm, adi.dm,
+/// floyd.dm). Each kernel seeds its arrays with initialArrayValue()
+/// — the same deterministic pattern the sequential interpreter and
+/// the SPMD simulator use — and evaluates the statements in exactly
+/// the mini-language order and association, so the expected contents
+/// are bit-identical doubles, not approximations. Shared by the
+/// workload_suite example and the `workloads`-labeled differential
+/// test suites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMCC_EXAMPLES_WORKLOADKERNELS_H
+#define DMCC_EXAMPLES_WORKLOADKERNELS_H
+
+#include "ir/Interp.h"
+
+#include <vector>
+
+namespace dmcc {
+namespace workloads {
+
+/// Row-major array of extent per dimension, seeded like the simulator.
+inline std::vector<double> seedArray(unsigned ArrayId, IntT Flat) {
+  std::vector<double> A(static_cast<size_t>(Flat));
+  for (IntT I = 0; I != Flat; ++I)
+    A[static_cast<size_t>(I)] = initialArrayValue(ArrayId, I);
+  return A;
+}
+
+/// examples/cholesky.dm: square-root-free right-looking factorization.
+/// Returns the final contents of A ((N+1) x (N+1), row-major).
+inline std::vector<double> refCholesky(IntT N) {
+  const IntT M = N + 1;
+  std::vector<double> A = seedArray(0, M * M);
+  auto At = [&](IntT I, IntT J) -> double & {
+    return A[static_cast<size_t>(I * M + J)];
+  };
+  for (IntT K = 0; K <= N; ++K) {
+    for (IntT I = K + 1; I <= N; ++I)
+      At(I, K) = At(I, K) / At(K, K);
+    for (IntT J = K + 1; J <= N; ++J)
+      for (IntT I = J; I <= N; ++I)
+        At(I, J) = At(I, J) - At(I, K) * At(J, K);
+  }
+  return A;
+}
+
+/// examples/jacobi2d.dm: five-point relaxation with ping-pong arrays.
+/// Returns {A, B} final contents ((N+1) x (N+1) each).
+inline std::vector<std::vector<double>> refJacobi2D(IntT T, IntT N) {
+  const IntT M = N + 1;
+  std::vector<double> A = seedArray(0, M * M), B = seedArray(1, M * M);
+  auto At = [&](std::vector<double> &X, IntT I, IntT J) -> double & {
+    return X[static_cast<size_t>(I * M + J)];
+  };
+  for (IntT t = 0; t <= T; ++t) {
+    for (IntT I = 1; I <= N - 1; ++I)
+      for (IntT J = 1; J <= N - 1; ++J)
+        At(B, I, J) = At(A, I - 1, J) + At(A, I, J - 1) + At(A, I, J) +
+                      At(A, I, J + 1) + At(A, I + 1, J);
+    for (IntT I = 1; I <= N - 1; ++I)
+      for (IntT J = 1; J <= N - 1; ++J)
+        At(A, I, J) = At(B, I, J);
+  }
+  return {A, B};
+}
+
+/// examples/jacobi3d.dm: one seven-point smoothing sweep into B, then
+/// a copy-back into A. Returns {A, B} final contents ((N+1)^3 each).
+inline std::vector<std::vector<double>> refJacobi3D(IntT N) {
+  const IntT M = N + 1;
+  std::vector<double> A = seedArray(0, M * M * M),
+                      B = seedArray(1, M * M * M);
+  auto At = [&](std::vector<double> &X, IntT I, IntT J,
+                IntT K) -> double & {
+    return X[static_cast<size_t>((I * M + J) * M + K)];
+  };
+  for (IntT I = 1; I <= N - 1; ++I)
+    for (IntT J = 1; J <= N - 1; ++J)
+      for (IntT K = 1; K <= N - 1; ++K)
+        At(B, I, J, K) = At(A, I - 1, J, K) + At(A, I + 1, J, K) +
+                         At(A, I, J - 1, K) + At(A, I, J + 1, K) +
+                         At(A, I, J, K - 1) + At(A, I, J, K + 1) +
+                         At(A, I, J, K);
+  for (IntT I = 1; I <= N - 1; ++I)
+    for (IntT J = 1; J <= N - 1; ++J)
+      for (IntT K = 1; K <= N - 1; ++K)
+        At(A, I, J, K) = At(B, I, J, K);
+  return {A, B};
+}
+
+/// examples/adi.dm: row sweep then pipelined column sweep, in place.
+/// Returns the final contents of X ((N+1) x (N+1)).
+inline std::vector<double> refADI(IntT T, IntT N) {
+  const IntT M = N + 1;
+  std::vector<double> X = seedArray(0, M * M);
+  auto At = [&](IntT I, IntT J) -> double & {
+    return X[static_cast<size_t>(I * M + J)];
+  };
+  for (IntT t = 0; t <= T; ++t) {
+    for (IntT I = 0; I <= N; ++I)
+      for (IntT J = 1; J <= N; ++J)
+        At(I, J) = At(I, J) + At(I, J - 1);
+    for (IntT I = 1; I <= N; ++I)
+      for (IntT J = 0; J <= N; ++J)
+        At(I, J) = At(I, J) + At(I - 1, J);
+  }
+  return X;
+}
+
+/// examples/floyd.dm: transitive-closure nest in the add-multiply
+/// semiring with the damping divisor. Returns the final contents of D.
+inline std::vector<double> refFloyd(IntT N) {
+  const IntT M = N + 1;
+  std::vector<double> D = seedArray(0, M * M);
+  auto At = [&](IntT I, IntT J) -> double & {
+    return D[static_cast<size_t>(I * M + J)];
+  };
+  for (IntT K = 0; K <= N; ++K)
+    for (IntT I = 0; I <= N; ++I)
+      for (IntT J = 0; J <= N; ++J)
+        At(I, J) = At(I, J) + At(I, K) * At(K, J) / 64.0;
+  return D;
+}
+
+} // namespace workloads
+} // namespace dmcc
+
+#endif // DMCC_EXAMPLES_WORKLOADKERNELS_H

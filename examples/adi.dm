@@ -1,0 +1,25 @@
+# ADI (alternating-direction implicit) integration kernel: a local
+# forward sweep along each row, then a pipelined forward sweep down
+# the columns. Under the row-block layout the row sweep is entirely
+# local and the column sweep communicates one block-boundary row per
+# step — the paper's classic pipelining example. Try:
+#   dmcc-cli examples/adi.dm --print-spmd
+#   dmcc-cli examples/adi.dm --simulate 4 --functional
+param T = 2;
+param N = 15;
+array X[N + 1][N + 1];
+
+decompose X block(0, 4);   # row blocks
+
+for t = 0 to T {
+  for i = 0 to N {
+    for j = 1 to N {
+      X[i][j] = X[i][j] + X[i][j - 1];
+    }
+  }
+  for i2 = 1 to N {
+    for j2 = 0 to N {
+      X[i2][j2] = X[i2][j2] + X[i2 - 1][j2];
+    }
+  }
+}

@@ -1,0 +1,22 @@
+# Cholesky-style right-looking factorization (square-root-free LDL'
+# shape: the pivot scaling stands in for the sqrt, which keeps the
+# kernel inside the affine mini-language while preserving the paper's
+# dependence structure: a pivot-row broadcast feeding a triangular
+# trailing update). Try:
+#   dmcc-cli examples/cholesky.dm --print-spmd
+#   dmcc-cli examples/cholesky.dm --simulate 4 --functional
+param N = 24;
+array A[N + 1][N + 1];
+
+decompose A cyclic(0);     # row i of A on virtual processor i
+
+for k = 0 to N {
+  for i = k + 1 to N {
+    A[i][k] = A[i][k] / A[k][k];
+  }
+  for j = k + 1 to N {
+    for i2 = j to N {
+      A[i2][j] = A[i2][j] - A[i2][k] * A[j][k];
+    }
+  }
+}

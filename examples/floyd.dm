@@ -1,0 +1,21 @@
+# Floyd-Warshall-shaped transitive-closure nest in the algebraic
+# (add-multiply) semiring: iteration k updates every path count
+# through vertex k, reading the in-place pivot row and column. The
+# exact data-flow analysis has to separate the k-th row/column written
+# inside iteration k from the values carried from iteration k-1. The
+# damping divisor keeps the doubly-exponential path counts finite in
+# double precision. Try:
+#   dmcc-cli examples/floyd.dm --print-spmd
+#   dmcc-cli examples/floyd.dm --simulate 4 --functional
+param N = 11;
+array D[N + 1][N + 1];
+
+decompose D cyclic(0);     # row i of D on virtual processor i
+
+for k = 0 to N {
+  for i = 0 to N {
+    for j = 0 to N {
+      D[i][j] = D[i][j] + D[i][k] * D[k][j] / 64;
+    }
+  }
+}

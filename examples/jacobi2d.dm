@@ -1,0 +1,29 @@
+# 2-D Jacobi five-point relaxation with ping-pong arrays, rows
+# block-distributed with replicated borders (Figure 4's overlap
+# layout). Try:
+#   dmcc-cli examples/jacobi2d.dm --print-spmd
+#   dmcc-cli examples/jacobi2d.dm --simulate 4 --functional
+param T = 4;
+param N = 15;
+array A[N + 1][N + 1];
+array B[N + 1][N + 1];
+
+decompose A block(0, 4) overlap(1, 1);
+final A block(0, 4);
+decompose B block(0, 4);
+compute S0 block(1, 4);    # sweep row i on the owner of B[i][*]
+compute S1 block(1, 4);
+
+for t = 0 to T {
+  for i = 1 to N - 1 {
+    for j = 1 to N - 1 {
+      B[i][j] = A[i - 1][j] + A[i][j - 1] + A[i][j] + A[i][j + 1]
+                + A[i + 1][j];
+    }
+  }
+  for i2 = 1 to N - 1 {
+    for j2 = 1 to N - 1 {
+      A[i2][j2] = B[i2][j2];
+    }
+  }
+}

@@ -1,0 +1,35 @@
+# 3-D Jacobi seven-point relaxation, planes (dimension 0)
+# block-distributed with replicated boundary planes: one smoothing
+# sweep into B, then a copy-back into A's final layout. (The
+# time-iterated variant of the same stencil lives in jacobi2d.dm; in
+# three dimensions the time-carried exact data-flow analysis is
+# exponentially costlier, so this workload exercises the 3-D overlap
+# communication on a single sweep.) Try:
+#   dmcc-cli examples/jacobi3d.dm --print-spmd
+#   dmcc-cli examples/jacobi3d.dm --simulate 4 --functional
+param N = 7;
+array A[N + 1][N + 1][N + 1];
+array B[N + 1][N + 1][N + 1];
+
+decompose A block(0, 2) overlap(1, 1);
+final A block(0, 2);
+decompose B block(0, 2);
+compute S0 block(0, 2);    # plane i on the owner of B[i][*][*]
+compute S1 block(0, 2);
+
+for i = 1 to N - 1 {
+  for j = 1 to N - 1 {
+    for k = 1 to N - 1 {
+      B[i][j][k] = A[i - 1][j][k] + A[i + 1][j][k] + A[i][j - 1][k]
+                   + A[i][j + 1][k] + A[i][j][k - 1] + A[i][j][k + 1]
+                   + A[i][j][k];
+    }
+  }
+}
+for i2 = 1 to N - 1 {
+  for j2 = 1 to N - 1 {
+    for k2 = 1 to N - 1 {
+      A[i2][j2][k2] = B[i2][j2][k2];
+    }
+  }
+}

@@ -211,6 +211,50 @@ std::string FleetReport::json() const {
   return Out;
 }
 
+std::string
+dmcc::groupedFleetJson(const std::vector<NamedFleetReport> &Reports) {
+  size_t Total = 0;
+  double Elapsed = 0;
+  unsigned Counts[7] = {};
+  static const ScenarioStatus All[] = {
+      ScenarioStatus::Ok,       ScenarioStatus::Mismatch,
+      ScenarioStatus::Deadlock, ScenarioStatus::TransportExhausted,
+      ScenarioStatus::Timeout,  ScenarioStatus::WorkerCrash,
+      ScenarioStatus::RetryExhausted};
+  for (const NamedFleetReport &R : Reports) {
+    Total += R.Report.Outcomes.size();
+    Elapsed += R.Report.ElapsedSeconds;
+    for (unsigned I = 0; I != 7; ++I)
+      Counts[I] += R.Report.count(All[I]);
+  }
+
+  std::string Out = "{\n  \"programs\": [\n";
+  char Buf[256];
+  for (size_t I = 0; I != Reports.size(); ++I) {
+    Out += "    {\"file\": \"";
+    appendEscaped(Out, Reports[I].File);
+    Out += "\",\n     \"report\": ";
+    std::string Rep = Reports[I].Report.json();
+    while (!Rep.empty() && Rep.back() == '\n')
+      Rep.pop_back();
+    Out += Rep;
+    Out += I + 1 != Reports.size() ? "},\n" : "}\n";
+  }
+  std::snprintf(Buf, sizeof Buf,
+                "  ],\n  \"totals\": {\"programs\": %zu, "
+                "\"scenarios_total\": %zu, \"elapsed_seconds\": %.3f, "
+                "\"counts\": {",
+                Reports.size(), Total, Elapsed);
+  Out += Buf;
+  for (unsigned I = 0; I != 7; ++I) {
+    std::snprintf(Buf, sizeof Buf, "%s\"%s\": %u", I ? ", " : "",
+                  scenarioStatusName(All[I]), Counts[I]);
+    Out += Buf;
+  }
+  Out += "}}\n}\n";
+  return Out;
+}
+
 std::vector<FleetScenario> dmcc::buildMatrix(const FleetMatrixSpec &MS) {
   auto OrDefault = [](std::vector<uint64_t> V,
                       uint64_t D) -> std::vector<uint64_t> {

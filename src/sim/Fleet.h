@@ -160,6 +160,20 @@ struct FleetMatrixSpec {
 /// Expands \p Spec's cross product into an indexed scenario list.
 std::vector<FleetScenario> buildMatrix(const FleetMatrixSpec &Spec);
 
+/// One program's report within a multi-program sweep (the dmcc-fleet
+/// --programs axis): the program file it ran and its full report.
+struct NamedFleetReport {
+  std::string File;
+  FleetReport Report;
+};
+
+/// Renders a multi-program sweep as one JSON document: a "programs"
+/// array grouping each program's complete report under its file name,
+/// plus a "totals" object aggregating scenario counts and wall-clock
+/// across programs. A single-entry list still renders grouped — the
+/// shape is decided by the --programs flag, not the program count.
+std::string groupedFleetJson(const std::vector<NamedFleetReport> &Reports);
+
 /// Saturating conversion from a seconds value to a steady_clock
 /// duration for deadline arithmetic: NaN and non-positive inputs map to
 /// zero, and anything above ~31 years pins at that cap — so

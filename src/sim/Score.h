@@ -1,0 +1,73 @@
+//===- sim/Score.h - Batch candidate-spec scoring ---------------*- C++ -*-===//
+//
+// Part of dmcc, a reproduction of Amarasinghe & Lam, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Batch scoring of candidate compile specs: compile each candidate and
+/// simulate it once in performance mode (symbolic arithmetic, collapsed
+/// compute loops), returning the predicted makespan and communication
+/// volume. This is the cost model behind the decomposition auto-search
+/// (decomp/Search.h): the paper picks decompositions by inspection; the
+/// search replays that judgement mechanically, and the score is what it
+/// ranks by.
+///
+/// Scoring reuses the fleet's supervision machinery (sim/Fleet.h): every
+/// candidate compiles and simulates in its own forked child under a
+/// wall-clock watchdog, so one pathological candidate (a compile blowup,
+/// a simulated deadlock, even a crash) costs one slot of the pool and a
+/// timeout — never the whole search. Candidates are deterministically
+/// sharded across the pool exactly like fleet scenarios, so reruns score
+/// in the same order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMCC_SIM_SCORE_H
+#define DMCC_SIM_SCORE_H
+
+#include "sim/Simulator.h"
+
+#include <string>
+#include <vector>
+
+namespace dmcc {
+
+/// Tuning for one batch-scoring run.
+struct ScoreOptions {
+  IntT Procs = 4; ///< physical processors (1-D grid)
+  /// Concrete parameter bindings; every program parameter needs one.
+  std::map<std::string, IntT> Params;
+  /// Base compiler configuration shared by every candidate.
+  CompilerOptions Compile;
+  unsigned Jobs = 4;           ///< concurrent scoring children
+  double TimeoutSeconds = 60;  ///< per-candidate watchdog deadline
+  unsigned MaxRetries = 1;     ///< respawns after a timeout/crash
+  double RetryBackoffSeconds = 0.05; ///< first respawn delay; doubles
+  SimEngine Engine = SimEngine::Rounds;
+};
+
+/// What one candidate cost. Infeasible candidates (spec rejected by the
+/// compiler, simulated deadlock, watchdog timeout, worker crash) come
+/// back with Ok == false and the reason in Error — never an exception,
+/// so a search can simply skip them.
+struct SpecScore {
+  bool Ok = false;
+  std::string Error;
+  double MakespanSeconds = 0; ///< the ranking key
+  uint64_t Messages = 0;
+  uint64_t Words = 0;
+  double CompileSeconds = 0;
+  unsigned CommSets = 0; ///< communication sets after self-reuse
+  unsigned Attempts = 0; ///< scoring children spawned (1 = clean)
+};
+
+/// Scores every candidate spec against \p P; result i corresponds to
+/// Specs[i]. The caller must not hold live threads (the scorer forks).
+std::vector<SpecScore> scoreSpecs(const Program &P,
+                                  const std::vector<CompileSpec> &Specs,
+                                  const ScoreOptions &SO);
+
+} // namespace dmcc
+
+#endif // DMCC_SIM_SCORE_H

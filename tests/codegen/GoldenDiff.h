@@ -1,0 +1,103 @@
+//===- tests/codegen/GoldenDiff.h - Readable snapshot diffs -----*- C++ -*-===//
+//
+// Renders a golden-snapshot mismatch as a compact, line-numbered diff:
+// the first differing line with a little context, want/got markers, the
+// line counts of both sides, and the --update-golden regeneration hint.
+// Pure string-to-string so it unit-tests without any files.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DMCC_TESTS_CODEGEN_GOLDENDIFF_H
+#define DMCC_TESTS_CODEGEN_GOLDENDIFF_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dmcc {
+namespace golden {
+
+inline std::vector<std::string> splitLines(const std::string &S) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Pos <= S.size()) {
+    size_t Nl = S.find('\n', Pos);
+    if (Nl == std::string::npos) {
+      // A trailing fragment without a newline still counts as a line;
+      // a final newline does not create an extra empty one.
+      if (Pos != S.size())
+        Out.push_back(S.substr(Pos));
+      break;
+    }
+    Out.push_back(S.substr(Pos, Nl - Pos));
+    Pos = Nl + 1;
+  }
+  return Out;
+}
+
+/// Renders the mismatch between \p Want (the committed snapshot) and
+/// \p Got (the freshly generated output). Returns the empty string when
+/// they are byte-identical. \p SnapshotRel names the snapshot in the
+/// header; \p MaxShow bounds the differing lines shown per side.
+inline std::string renderGoldenDiff(const std::string &Want,
+                                    const std::string &Got,
+                                    const std::string &SnapshotRel,
+                                    unsigned MaxShow = 4) {
+  if (Want == Got)
+    return "";
+  std::vector<std::string> W = splitLines(Want), G = splitLines(Got);
+  size_t First = 0;
+  while (First < W.size() && First < G.size() && W[First] == G[First])
+    ++First;
+
+  std::string Out;
+  char Buf[256];
+  std::snprintf(Buf, sizeof Buf,
+                "golden snapshot mismatch: %s\n"
+                "  snapshot has %zu line(s), regenerated output has %zu "
+                "line(s); first difference at line %zu\n",
+                SnapshotRel.c_str(), W.size(), G.size(), First + 1);
+  Out += Buf;
+
+  // Two lines of shared context, then the differing region of each side
+  // with -/+ markers and 1-based line numbers.
+  size_t CtxFrom = First >= 2 ? First - 2 : 0;
+  for (size_t I = CtxFrom; I < First; ++I) {
+    std::snprintf(Buf, sizeof Buf, "   %4zu | ", I + 1);
+    Out += Buf;
+    Out += W[I];
+    Out += '\n';
+  }
+  for (size_t I = First; I < W.size() && I < First + MaxShow; ++I) {
+    std::snprintf(Buf, sizeof Buf, "  -%4zu | ", I + 1);
+    Out += Buf;
+    Out += W[I];
+    Out += '\n';
+  }
+  if (W.size() > First + MaxShow) {
+    std::snprintf(Buf, sizeof Buf, "  -.... | (%zu more snapshot line(s))\n",
+                  W.size() - First - MaxShow);
+    Out += Buf;
+  }
+  for (size_t I = First; I < G.size() && I < First + MaxShow; ++I) {
+    std::snprintf(Buf, sizeof Buf, "  +%4zu | ", I + 1);
+    Out += Buf;
+    Out += G[I];
+    Out += '\n';
+  }
+  if (G.size() > First + MaxShow) {
+    std::snprintf(Buf, sizeof Buf,
+                  "  +.... | (%zu more generated line(s))\n",
+                  G.size() - First - MaxShow);
+    Out += Buf;
+  }
+  Out += "If the change is intended, regenerate the snapshot with:\n"
+         "  dmcc_golden_test --update-golden\n"
+         "and commit it together with the codegen change.\n";
+  return Out;
+}
+
+} // namespace golden
+} // namespace dmcc
+
+#endif // DMCC_TESTS_CODEGEN_GOLDENDIFF_H

@@ -1,0 +1,67 @@
+//===- tests/codegen/GoldenDiffTest.cpp - Diff renderer unit tests -------===//
+//
+// The golden suite fails through renderGoldenDiff, so its output format
+// is itself pinned here: empty on equality, line-numbered -/+ region on
+// drift, elision counters for long tails, and the regeneration hint.
+//
+//===----------------------------------------------------------------------===//
+
+#include "GoldenDiff.h"
+
+#include "gtest/gtest.h"
+
+using dmcc::golden::renderGoldenDiff;
+using dmcc::golden::splitLines;
+
+namespace {
+
+TEST(GoldenDiff, SplitLinesHandlesTrailingNewlineAndFragments) {
+  EXPECT_TRUE(splitLines("").empty());
+  EXPECT_EQ(splitLines("a\nb\n"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(splitLines("a\nb"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(splitLines("\n\n"), (std::vector<std::string>{"", ""}));
+}
+
+TEST(GoldenDiff, EqualInputsRenderEmpty) {
+  EXPECT_EQ("", renderGoldenDiff("", "", "x.txt"));
+  EXPECT_EQ("", renderGoldenDiff("a\nb\n", "a\nb\n", "x.txt"));
+}
+
+TEST(GoldenDiff, FirstDifferenceIsNumberedWithContext) {
+  std::string Want = "line one\nline two\nline three\nline four\n";
+  std::string Got = "line one\nline two\nline CHANGED\nline four\n";
+  std::string D = renderGoldenDiff(Want, Got, "golden/x.spmd.txt");
+  EXPECT_NE(D.find("golden snapshot mismatch: golden/x.spmd.txt"),
+            std::string::npos);
+  EXPECT_NE(D.find("first difference at line 3"), std::string::npos);
+  EXPECT_NE(D.find("snapshot has 4 line(s), regenerated output has 4"),
+            std::string::npos);
+  // Shared context keeps plain markers; the divergent region gets -/+.
+  EXPECT_NE(D.find("   1 | line one"), std::string::npos);
+  EXPECT_NE(D.find("-   3 | line three"), std::string::npos);
+  EXPECT_NE(D.find("+   3 | line CHANGED"), std::string::npos);
+  EXPECT_NE(D.find("--update-golden"), std::string::npos);
+}
+
+TEST(GoldenDiff, LongTailsAreElidedWithCounts) {
+  std::string Want, Got = "zzz\n";
+  for (int I = 0; I != 20; ++I)
+    Want += "w" + std::to_string(I) + "\n";
+  std::string D = renderGoldenDiff(Want, Got, "x", /*MaxShow=*/2);
+  EXPECT_NE(D.find("-   1 | w0"), std::string::npos);
+  EXPECT_NE(D.find("-   2 | w1"), std::string::npos);
+  EXPECT_EQ(D.find("w2"), std::string::npos);
+  EXPECT_NE(D.find("(18 more snapshot line(s))"), std::string::npos);
+  EXPECT_NE(D.find("+   1 | zzz"), std::string::npos);
+}
+
+TEST(GoldenDiff, PureAppendDiffersPastCommonPrefix) {
+  // Got extends Want: the first "difference" is one past the last line.
+  std::string Want = "a\nb\n", Got = "a\nb\nc\n";
+  std::string D = renderGoldenDiff(Want, Got, "x");
+  EXPECT_NE(D.find("first difference at line 3"), std::string::npos);
+  EXPECT_NE(D.find("+   3 | c"), std::string::npos);
+  EXPECT_EQ(D.find("-   3"), std::string::npos);
+}
+
+} // namespace

@@ -15,6 +15,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "GoldenDiff.h"
 #include "core/SpecParser.h"
 
 #include "gtest/gtest.h"
@@ -30,8 +31,14 @@ namespace {
 
 bool UpdateGolden = false;
 
+// DMCC_GOLDEN_ROOT overrides the compiled-in source root so the drift
+// smoke test can point the binary at a tampered copy of the tree.
 std::string repoPath(const std::string &Rel) {
-  return std::string(DMCC_REPO_ROOT) + "/" + Rel;
+  std::string Root = DMCC_REPO_ROOT;
+  if (const char *Env = std::getenv("DMCC_GOLDEN_ROOT"))
+    if (Env[0])
+      Root = Env;
+  return Root + "/" + Rel;
 }
 
 bool readFile(const std::string &Path, std::string &Out) {
@@ -78,11 +85,8 @@ TEST_P(Golden, PrinterOutputMatchesSnapshot) {
   ASSERT_TRUE(readFile(GoldenPath, Want))
       << "missing snapshot " << GoldenPath
       << "; run dmcc_golden_test --update-golden to create it";
-  EXPECT_EQ(Want, Got)
-      << "Printer output diverged from " << C.Golden
-      << ". If the change is intended, regenerate with:\n"
-      << "  dmcc_golden_test --update-golden\n"
-      << "and commit the updated snapshot.";
+  std::string Diff = golden::renderGoldenDiff(Want, Got, C.Golden);
+  EXPECT_TRUE(Diff.empty()) << Diff;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -95,7 +99,27 @@ INSTANTIATE_TEST_SUITE_P(
         GoldenCase{"stencil", "examples/stencil.dm", false,
                    "tests/codegen/golden/stencil.spmd.txt"},
         GoldenCase{"stencil_early", "examples/stencil.dm", true,
-                   "tests/codegen/golden/stencil.early.spmd.txt"}),
+                   "tests/codegen/golden/stencil.early.spmd.txt"},
+        GoldenCase{"cholesky", "examples/cholesky.dm", false,
+                   "tests/codegen/golden/cholesky.spmd.txt"},
+        GoldenCase{"cholesky_early", "examples/cholesky.dm", true,
+                   "tests/codegen/golden/cholesky.early.spmd.txt"},
+        GoldenCase{"jacobi2d", "examples/jacobi2d.dm", false,
+                   "tests/codegen/golden/jacobi2d.spmd.txt"},
+        GoldenCase{"jacobi2d_early", "examples/jacobi2d.dm", true,
+                   "tests/codegen/golden/jacobi2d.early.spmd.txt"},
+        GoldenCase{"jacobi3d", "examples/jacobi3d.dm", false,
+                   "tests/codegen/golden/jacobi3d.spmd.txt"},
+        GoldenCase{"jacobi3d_early", "examples/jacobi3d.dm", true,
+                   "tests/codegen/golden/jacobi3d.early.spmd.txt"},
+        GoldenCase{"adi", "examples/adi.dm", false,
+                   "tests/codegen/golden/adi.spmd.txt"},
+        GoldenCase{"adi_early", "examples/adi.dm", true,
+                   "tests/codegen/golden/adi.early.spmd.txt"},
+        GoldenCase{"floyd", "examples/floyd.dm", false,
+                   "tests/codegen/golden/floyd.spmd.txt"},
+        GoldenCase{"floyd_early", "examples/floyd.dm", true,
+                   "tests/codegen/golden/floyd.early.spmd.txt"}),
     [](const ::testing::TestParamInfo<GoldenCase> &I) {
       return std::string(I.param.Name);
     });

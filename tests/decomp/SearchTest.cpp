@@ -1,0 +1,186 @@
+//===- tests/decomp/SearchTest.cpp - Decomposition auto-search ----------===//
+//
+// Pins the decomposition search contract (decomp/Search.h): the bounded
+// enumeration keeps the hand-written hint as candidate 0, the scorer
+// reports infeasible candidates instead of dying on them, and — the
+// acceptance criterion of the subsystem — the winner's simulated
+// makespan is never worse than the hand-written spec's on any of the
+// five shipped workloads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SpecParser.h"
+#include "decomp/Search.h"
+#include "frontend/Parser.h"
+
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+#include <string>
+
+using namespace dmcc;
+
+namespace {
+
+std::string repoPath(const std::string &Rel) {
+  return std::string(DMCC_REPO_ROOT) + "/" + Rel;
+}
+
+SpecParseOutput loadWorkload(const std::string &Name) {
+  std::ifstream In(repoPath("examples/" + Name + ".dm"));
+  EXPECT_TRUE(In.good()) << Name;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  SpecParseOutput SP = parseWithSpec(Buf.str());
+  EXPECT_TRUE(SP.ok()) << Name << ": " << SP.Error;
+  return SP;
+}
+
+Program lu() {
+  return parseProgramOrDie(R"(
+param N;
+array X[N + 1][N + 1];
+for i1 = 0 to N {
+  for i2 = i1 + 1 to N {
+    X[i2][i1] = X[i2][i1] / X[i1][i1];
+    for i3 = i1 + 1 to N {
+      X[i2][i3] = X[i2][i3] - X[i2][i1] * X[i1][i3];
+    }
+  }
+}
+)");
+}
+
+CompileSpec luSpec(const Program &P) {
+  CompileSpec Spec;
+  Decomposition D = cyclicData(P, 0, 0);
+  Spec.Stmts.push_back(StmtPlan{0, ownerComputes(P, 0, D)});
+  Spec.Stmts.push_back(StmtPlan{1, ownerComputes(P, 1, D)});
+  Spec.InitialData.emplace(0, D);
+  Spec.FinalData.emplace(0, D);
+  return Spec;
+}
+
+SearchOptions fastOpts(std::map<std::string, IntT> Params) {
+  SearchOptions SO;
+  SO.Procs = 4;
+  SO.Params = std::move(Params);
+  SO.Jobs = 4;
+  SO.TimeoutSeconds = 120; // generous: CI machines can be slow
+  return SO;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Enumeration contract
+//===----------------------------------------------------------------------===//
+
+TEST(DecompSearch, HintIsCandidateZeroAndSpaceIsBounded) {
+  Program P = lu();
+  CompileSpec Hint = luSpec(P);
+  SearchOptions SO = fastOpts({{"N", 16}});
+  std::vector<DecompCandidate> Cands =
+      enumerateDecompositions(P, &Hint, SO);
+  ASSERT_FALSE(Cands.empty());
+  EXPECT_TRUE(Cands[0].IsHint);
+  EXPECT_EQ(Cands[0].Desc, "hint (hand-written spec)");
+  // 2-D array, <= MaxBlockChoices block sizes per dimension, plus the
+  // hint: the space stays a handful of compiles.
+  EXPECT_LE(Cands.size(), 1 + 2 * SO.MaxBlockChoices);
+  // Both classic styles must be in the race for each dimension.
+  bool SawCyclic0 = false, SawBlock1 = false;
+  for (const DecompCandidate &C : Cands) {
+    if (C.IsHint)
+      continue;
+    EXPECT_FALSE(C.Spec.Stmts.empty()) << C.Desc;
+    if (C.Dim == 0 && C.Block == 1)
+      SawCyclic0 = true;
+    if (C.Dim == 1 && C.Block > 1)
+      SawBlock1 = true;
+  }
+  EXPECT_TRUE(SawCyclic0);
+  EXPECT_TRUE(SawBlock1);
+}
+
+TEST(DecompSearch, EnumerationWithoutHintStillCoversTheSpace) {
+  Program P = lu();
+  SearchOptions SO = fastOpts({{"N", 16}});
+  std::vector<DecompCandidate> NoHint =
+      enumerateDecompositions(P, nullptr, SO);
+  CompileSpec Hint = luSpec(P);
+  std::vector<DecompCandidate> WithHint =
+      enumerateDecompositions(P, &Hint, SO);
+  ASSERT_FALSE(NoHint.empty());
+  EXPECT_FALSE(NoHint[0].IsHint);
+  EXPECT_EQ(NoHint.size() + 1, WithHint.size());
+}
+
+TEST(DecompSearch, UnboundParameterFallsBackToHintOnly) {
+  Program P = lu();
+  CompileSpec Hint = luSpec(P);
+  SearchOptions SO = fastOpts({}); // N unbound: extents can't evaluate
+  std::vector<DecompCandidate> Cands =
+      enumerateDecompositions(P, &Hint, SO);
+  ASSERT_EQ(Cands.size(), 1u);
+  EXPECT_TRUE(Cands[0].IsHint);
+}
+
+//===----------------------------------------------------------------------===//
+// Scoring contract
+//===----------------------------------------------------------------------===//
+
+TEST(DecompSearch, InfeasibleCandidatesAreReportedNotFatal) {
+  Program P = lu();
+  CompileSpec Good = luSpec(P);
+  CompileSpec Broken; // no statement plans: the compiler must reject it
+  ScoreOptions SO;
+  SO.Params = {{"N", 16}};
+  SO.Jobs = 2;
+  std::vector<SpecScore> Scores = scoreSpecs(P, {Good, Broken}, SO);
+  ASSERT_EQ(Scores.size(), 2u);
+  EXPECT_TRUE(Scores[0].Ok) << Scores[0].Error;
+  EXPECT_GT(Scores[0].MakespanSeconds, 0.0);
+  EXPECT_FALSE(Scores[1].Ok);
+  EXPECT_FALSE(Scores[1].Error.empty());
+}
+
+TEST(DecompSearch, SearchOnLUFindsAFeasibleWinner) {
+  Program P = lu();
+  CompileSpec Hint = luSpec(P);
+  SearchResult SR =
+      searchDecompositions(P, &Hint, fastOpts({{"N", 16}}));
+  ASSERT_TRUE(SR.ok()) << SR.Error;
+  EXPECT_TRUE(SR.best().Score.Ok);
+  ASSERT_TRUE(SR.Candidates[0].Score.Ok) << SR.Candidates[0].Score.Error;
+  EXPECT_LE(SR.best().Score.MakespanSeconds,
+            SR.Candidates[0].Score.MakespanSeconds);
+}
+
+//===----------------------------------------------------------------------===//
+// Acceptance criterion: winner <= hand-written spec on every workload
+//===----------------------------------------------------------------------===//
+
+class SearchWorkload : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(SearchWorkload, WinnerIsNeverWorseThanTheHandWrittenSpec) {
+  SpecParseOutput SP = loadWorkload(GetParam());
+  ASSERT_TRUE(SP.ok());
+  SearchResult SR =
+      searchDecompositions(*SP.Prog, &SP.Spec, fastOpts(SP.ParamDefaults));
+  ASSERT_TRUE(SR.ok()) << GetParam() << ": " << SR.Error;
+  // The hand-written spec is candidate 0 and must itself be feasible.
+  ASSERT_TRUE(SR.Candidates[0].Cand.IsHint);
+  ASSERT_TRUE(SR.Candidates[0].Score.Ok)
+      << GetParam() << ": " << SR.Candidates[0].Score.Error;
+  EXPECT_LE(SR.best().Score.MakespanSeconds,
+            SR.Candidates[0].Score.MakespanSeconds)
+      << GetParam() << ": winner '" << SR.best().Cand.Desc
+      << "' is worse than the hand-written spec";
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, SearchWorkload,
+                         ::testing::Values("cholesky", "jacobi2d",
+                                           "jacobi3d", "adi", "floyd"),
+                         [](const ::testing::TestParamInfo<const char *>
+                                &I) { return std::string(I.param); });

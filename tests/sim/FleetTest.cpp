@@ -242,6 +242,39 @@ TEST(Fleet, JsonReportAccountsForEveryScenarioAndStatus) {
   EXPECT_NE(J.find("\"golden_hash\": \"0x"), std::string::npos) << J;
 }
 
+TEST(Fleet, GroupedJsonNestsPerProgramReportsAndAggregatesTotals) {
+  // The dmcc-fleet --programs axis renders one grouped document: each
+  // program's complete report under its file name, plus cross-program
+  // totals. Pin the shape with two real (tiny) runs.
+  FleetEnv E;
+  FleetOptions FO;
+  FO.Jobs = 2;
+  FO.MaxRetries = 1;
+  FO.RetryBackoffSeconds = 0.01;
+  Fleet F1 = E.make(FO);
+  FleetReport R1 = F1.run({cleanScn(0, 1)});
+  FO.AbortScenarios = {0};
+  Fleet F2 = E.make(FO);
+  FleetReport R2 = F2.run({cleanScn(0, 1)});
+  std::string J = groupedFleetJson(
+      {NamedFleetReport{"examples/a.dm", R1},
+       NamedFleetReport{"examples/b.dm", R2}});
+  EXPECT_NE(J.find("\"programs\": ["), std::string::npos) << J;
+  EXPECT_NE(J.find("\"file\": \"examples/a.dm\""), std::string::npos)
+      << J;
+  EXPECT_NE(J.find("\"file\": \"examples/b.dm\""), std::string::npos)
+      << J;
+  // Each nested report keeps its own full shape...
+  EXPECT_NE(J.find("\"report\": {"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"golden_hash\": \"0x"), std::string::npos) << J;
+  // ...and the totals aggregate across programs.
+  EXPECT_NE(J.find("\"totals\": {\"programs\": 2, "
+                   "\"scenarios_total\": 2"),
+            std::string::npos)
+      << J;
+  EXPECT_NE(J.find("\"retry-exhausted\": 1}}"), std::string::npos) << J;
+}
+
 TEST(Fleet, JournaledSweepResumesWithoutRerunningVerdicts) {
   // First sweep journals every verdict. The resumed sweep must restore
   // them all and re-run nothing: scenario 1 is sabotaged to abort on

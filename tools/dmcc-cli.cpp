@@ -22,6 +22,14 @@
 //                            bit-identical across engines
 //     --functional           simulate with real arithmetic and verify
 //                            against sequential execution
+//     --auto-decomp          decomposition auto-search (decomp/Search.h):
+//                            enumerate the bounded candidate space, score
+//                            every candidate by simulated makespan, and
+//                            compile/simulate the winner instead of the
+//                            file's hand-written spec (which competes as
+//                            candidate 0, so the winner is never worse).
+//                            Requires --simulate P; exits 3 when no
+//                            candidate compiles
 //     --param NAME=VALUE     parameter binding (repeatable; defaults
 //                            from `param NAME = VALUE;` declarations)
 //     --no-self-reuse --no-group-reuse --no-multicast --no-aggressive
@@ -90,6 +98,7 @@
 
 #include "core/SpecParser.h"
 #include "dataflow/LastWriteTree.h"
+#include "decomp/Search.h"
 #include "ir/Interp.h"
 #include "sim/Simulator.h"
 #include "support/ExitCodes.h"
@@ -148,6 +157,7 @@ int usage(const char *Argv0) {
                "[--print-comm] [--print-spmd]\n"
                "       [--simulate P] [--sim-threads N] "
                "[--sim-engine rounds|event] [--functional]\n"
+               "       [--auto-decomp]\n"
                "       [--param N=V]...\n"
                "       [--no-self-reuse] [--no-group-reuse] "
                "[--no-multicast] [--no-aggressive]\n"
@@ -204,6 +214,7 @@ int main(int Argc, char **Argv) {
   const char *File = nullptr;
   bool PrintProgram = false, PrintLWT = false, PrintComm = false;
   bool PrintSpmd = false, Functional = false, PrintStats = false;
+  bool AutoDecomp = false;
   IntT SimProcs = 0;
   unsigned SimThreads = 1;
   std::string SimEngineName = "rounds";
@@ -226,6 +237,8 @@ int main(int Argc, char **Argv) {
       PrintSpmd = true;
     else if (std::strcmp(A, "--functional") == 0)
       Functional = true;
+    else if (std::strcmp(A, "--auto-decomp") == 0)
+      AutoDecomp = true;
     else if (std::strcmp(A, "--no-self-reuse") == 0)
       Opts.EliminateSelfReuse = false;
     else if (std::strcmp(A, "--no-group-reuse") == 0)
@@ -384,6 +397,15 @@ int main(int Argc, char **Argv) {
                  static_cast<long long>(SimProcs));
     return ExitUsage;
   }
+  // The search ranks by simulated makespan, so it is meaningless
+  // without a machine size to rank on.
+  if (AutoDecomp && !SimulateGiven) {
+    std::fprintf(stderr,
+                 "error: --auto-decomp requires --simulate P; the "
+                 "search ranks candidates by simulated makespan on P "
+                 "processors\n");
+    return ExitUsage;
+  }
   if (CheckpointGiven && Checkpoint.IntervalSteps == 0) {
     std::fprintf(stderr,
                  "error: --checkpoint-interval must be >= 1 logical "
@@ -459,6 +481,52 @@ int main(int Argc, char **Argv) {
     for (unsigned S = 0; S != P.numStatements(); ++S)
       for (unsigned R = 0; R != P.statement(S).Reads.size(); ++R)
         std::printf("%s\n", buildLWT(P, S, R).str(P).c_str());
+  }
+
+  if (AutoDecomp) {
+    // Candidate extents need every parameter; check here (instead of
+    // the later --simulate check) so the error precedes the search.
+    for (unsigned I = 0; I != P.space().size(); ++I) {
+      if (P.space().kind(I) != VarKind::Param)
+        continue;
+      if (!Params.count(P.space().name(I))) {
+        std::fprintf(stderr,
+                     "error: parameter '%s' needs --param %s=VALUE\n",
+                     P.space().name(I).c_str(),
+                     P.space().name(I).c_str());
+        return ExitUsage;
+      }
+    }
+    SearchOptions SearchOpts;
+    SearchOpts.Procs = SimProcs;
+    SearchOpts.Params = Params;
+    SearchOpts.Compile = Opts;
+    SearchResult SR = searchDecompositions(P, &SP.Spec, SearchOpts);
+    if (!SR.ok()) {
+      std::fprintf(stderr, "%s: error: auto-decomp: %s\n", File,
+                   SR.Error.c_str());
+      return ExitCompileError;
+    }
+    std::printf("auto-decomp: scored %zu candidates on %lld processors\n",
+                SR.Candidates.size(), static_cast<long long>(SimProcs));
+    for (size_t I = 0; I != SR.Candidates.size(); ++I) {
+      const ScoredCandidate &C = SR.Candidates[I];
+      if (C.Score.Ok)
+        std::printf("auto-decomp:   [%zu] %-28s makespan %.6f s, %llu "
+                    "messages, %llu words\n",
+                    I, C.Cand.Desc.c_str(), C.Score.MakespanSeconds,
+                    static_cast<unsigned long long>(C.Score.Messages),
+                    static_cast<unsigned long long>(C.Score.Words));
+      else
+        std::printf("auto-decomp:   [%zu] %-28s infeasible: %s\n", I,
+                    C.Cand.Desc.c_str(), C.Score.Error.c_str());
+    }
+    std::printf("auto-decomp: winner [%d] %s (makespan %.6f s)\n",
+                SR.BestIndex, SR.best().Cand.Desc.c_str(),
+                SR.best().Score.MakespanSeconds);
+    // Everything downstream — printing, simulation, verification —
+    // runs the winning decomposition.
+    SP.Spec = SR.best().Cand.Spec;
   }
 
   CompiledProgram CP = compile(P, SP.Spec, Opts);

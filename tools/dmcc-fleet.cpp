@@ -10,9 +10,18 @@
 //
 //   dmcc-fleet FILE [options]
 //     --procs P              simulated processors per scenario (def 8)
-//     --param NAME=VALUE     parameter binding (repeatable)
+//     --param NAME=VALUE     parameter binding (repeatable; applies to
+//                            every program, after its own defaults)
 //
 //   Matrix axes (cross product = scenario count):
+//     --programs LIST        comma-separated .dm files: the whole
+//                            scenario matrix runs once per program and
+//                            the JSON report groups outcomes
+//                            per-program (a positional FILE is
+//                            prepended to the list; with --programs the
+//                            positional FILE is optional). Journals get
+//                            a per-program suffix when more than one
+//                            program runs.
 //     --fault-seeds N        fault-schedule seeds 1..N       (def 4)
 //     --crash-seeds N        crash-schedule seeds 1..N       (def 1)
 //     --checkpoint-intervals LIST
@@ -76,6 +85,7 @@ int usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s FILE [--procs P] [--param N=V]...\n"
+      "       [--programs FILE1,FILE2,...]\n"
       "       [--fault-seeds N] [--crash-seeds N]\n"
       "       [--checkpoint-intervals LIST] [--threads LIST]\n"
       "       [--engines LIST]\n"
@@ -142,6 +152,8 @@ int main(int Argc, char **Argv) {
     return usage(Argv[0]);
   const char *File = nullptr;
   const char *ReportPath = nullptr;
+  std::vector<std::string> ProgramList;
+  bool ProgramsGiven = false;
   IntT Procs = 8;
   FleetMatrixSpec MS;
   uint64_t NumFaultSeeds = 4, NumCrashSeeds = 1;
@@ -293,6 +305,23 @@ int main(int Argc, char **Argv) {
         return ExitUsage;
       FO.AbortOnceScenarios.insert(
           static_cast<unsigned>(std::strtoull(V, nullptr, 10)));
+    } else if (std::strcmp(A, "--programs") == 0) {
+      if (!(V = Value(A)))
+        return ExitUsage;
+      ProgramsGiven = true;
+      const char *C = V;
+      while (*C) {
+        const char *End = C;
+        while (*End && *End != ',')
+          ++End;
+        if (End != C)
+          ProgramList.emplace_back(C, End - C);
+        C = *End ? End + 1 : End;
+      }
+      if (ProgramList.empty()) {
+        std::fprintf(stderr, "error: --programs got an empty list\n");
+        return ExitUsage;
+      }
     } else if (std::strcmp(A, "--param") == 0) {
       if (!(V = Value(A)))
         return ExitUsage;
@@ -311,7 +340,9 @@ int main(int Argc, char **Argv) {
       return usage(Argv[0]);
     }
   }
-  if (!File)
+  if (File)
+    ProgramList.insert(ProgramList.begin(), File);
+  if (ProgramList.empty())
     return usage(Argv[0]);
   if (badProbability("--drop-rate", MS.Base.DropRate) ||
       badProbability("--dup-rate", MS.Base.DupRate) ||
@@ -340,61 +371,90 @@ int main(int Argc, char **Argv) {
   for (uint64_t S = 1; S <= NumCrashSeeds; ++S)
     MS.CrashSeeds.push_back(S);
 
-  std::ifstream In(File);
-  if (!In) {
-    std::fprintf(stderr, "error: cannot open '%s'\n", File);
-    return ExitCompileError;
-  }
-  std::ostringstream Buf;
-  Buf << In.rdbuf();
-  SpecParseOutput SP = parseWithSpec(Buf.str());
-  if (!SP.ok()) {
-    std::fprintf(stderr, "%s: error: %s\n", File, SP.Error.c_str());
-    return ExitCompileError;
-  }
-  Program &P = *SP.Prog;
-  for (const auto &[Name, Val] : SP.ParamDefaults)
-    Params.emplace(Name, Val);
-  for (unsigned I = 0; I != P.space().size(); ++I) {
-    if (P.space().kind(I) != VarKind::Param)
-      continue;
-    if (!Params.count(P.space().name(I))) {
-      std::fprintf(stderr,
-                   "error: parameter '%s' needs --param %s=VALUE\n",
-                   P.space().name(I).c_str(), P.space().name(I).c_str());
-      return ExitUsage;
-    }
-  }
-
-  // Compile once; every worker reuses the compiled program.
-  CompiledProgram CP = compile(P, SP.Spec, CompilerOptions());
-  if (!CP.Ok) {
-    std::fprintf(stderr, "%s: error: %s\n", File,
-                 CP.ErrorMessage.c_str());
-    return ExitCompileError;
-  }
-
   std::vector<FleetScenario> Matrix = buildMatrix(MS);
   std::fprintf(stderr,
                "dmcc-fleet: %zu scenarios across %u shards (timeout "
-               "%.1f s, %u retries)\n",
+               "%.1f s, %u retries)%s\n",
                Matrix.size(), FO.Jobs ? FO.Jobs : 1, FO.TimeoutSeconds,
-               FO.MaxRetries);
+               FO.MaxRetries,
+               ProgramList.size() > 1 ? ", per program" : "");
 
-  Fleet F(P, CP, SP.Spec, Params, Procs, FO);
-  FleetReport Rep = F.run(Matrix);
-  if (!Rep.Error.empty()) {
-    std::fprintf(stderr, "error: %s\n", Rep.Error.c_str());
-    return Rep.ErrorIsIo ? ExitIo : ExitUsage;
+  // The whole matrix runs once per program; Params holds the CLI
+  // bindings only, so one program's defaults never leak into another's.
+  const std::map<std::string, IntT> CliParams = Params;
+  std::vector<NamedFleetReport> Reports;
+  for (size_t Pi = 0; Pi != ProgramList.size(); ++Pi) {
+    const std::string &ProgFile = ProgramList[Pi];
+    std::ifstream In(ProgFile);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n",
+                   ProgFile.c_str());
+      return ExitCompileError;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    SpecParseOutput SP = parseWithSpec(Buf.str());
+    if (!SP.ok()) {
+      std::fprintf(stderr, "%s: error: %s\n", ProgFile.c_str(),
+                   SP.Error.c_str());
+      return ExitCompileError;
+    }
+    Program &P = *SP.Prog;
+    std::map<std::string, IntT> ProgParams = CliParams;
+    for (const auto &[Name, Val] : SP.ParamDefaults)
+      ProgParams.emplace(Name, Val);
+    for (unsigned I = 0; I != P.space().size(); ++I) {
+      if (P.space().kind(I) != VarKind::Param)
+        continue;
+      if (!ProgParams.count(P.space().name(I))) {
+        std::fprintf(stderr,
+                     "%s: error: parameter '%s' needs --param %s=VALUE\n",
+                     ProgFile.c_str(), P.space().name(I).c_str(),
+                     P.space().name(I).c_str());
+        return ExitUsage;
+      }
+    }
+
+    // Compile once per program; every worker reuses it.
+    CompiledProgram CP = compile(P, SP.Spec, CompilerOptions());
+    if (!CP.Ok) {
+      std::fprintf(stderr, "%s: error: %s\n", ProgFile.c_str(),
+                   CP.ErrorMessage.c_str());
+      return ExitCompileError;
+    }
+
+    // With several programs each gets its own journal: the scenario
+    // index alone no longer identifies a cell across the sweep.
+    FleetOptions ProgFO = FO;
+    if (!FO.JournalPath.empty() && ProgramList.size() > 1)
+      ProgFO.JournalPath = FO.JournalPath + ".p" + std::to_string(Pi);
+
+    Fleet F(P, CP, SP.Spec, ProgParams, Procs, ProgFO);
+    FleetReport Rep = F.run(Matrix);
+    if (!Rep.Error.empty()) {
+      std::fprintf(stderr, "%s: error: %s\n", ProgFile.c_str(),
+                   Rep.Error.c_str());
+      return Rep.ErrorIsIo ? ExitIo : ExitUsage;
+    }
+    if (Rep.ResumedFromJournal)
+      std::fprintf(stderr,
+                   "dmcc-fleet: %s: resumed %u verdict(s) from '%s', "
+                   "re-running %zu scenario(s)\n",
+                   ProgFile.c_str(), Rep.ResumedFromJournal,
+                   ProgFO.JournalPath.c_str(),
+                   Matrix.size() - Rep.ResumedFromJournal);
+    if (ProgramList.size() > 1)
+      std::fprintf(stderr, "dmcc-fleet: %s: %u ok, %u mismatch in %.2f s\n",
+                   ProgFile.c_str(), Rep.count(ScenarioStatus::Ok),
+                   Rep.count(ScenarioStatus::Mismatch),
+                   Rep.ElapsedSeconds);
+    Reports.push_back(NamedFleetReport{ProgFile, std::move(Rep)});
   }
-  if (Rep.ResumedFromJournal)
-    std::fprintf(stderr,
-                 "dmcc-fleet: resumed %u verdict(s) from '%s', "
-                 "re-running %zu scenario(s)\n",
-                 Rep.ResumedFromJournal, FO.JournalPath.c_str(),
-                 Matrix.size() - Rep.ResumedFromJournal);
 
-  std::string Json = Rep.json();
+  // Grouped shape iff --programs was given (even for a single entry);
+  // a plain positional run keeps the original single-report document.
+  std::string Json = ProgramsGiven ? groupedFleetJson(Reports)
+                                   : Reports[0].Report.json();
   if (ReportPath) {
     // Atomic (temp+fsync+rename): a crash mid-write must never leave a
     // torn report behind — consumers see the old report or the new one.
@@ -408,20 +468,27 @@ int main(int Argc, char **Argv) {
     std::fputs(Json.c_str(), stdout);
   }
 
+  unsigned Totals[7] = {};
+  double Elapsed = 0;
+  static const ScenarioStatus All[] = {
+      ScenarioStatus::Ok,       ScenarioStatus::Mismatch,
+      ScenarioStatus::Deadlock, ScenarioStatus::TransportExhausted,
+      ScenarioStatus::Timeout,  ScenarioStatus::WorkerCrash,
+      ScenarioStatus::RetryExhausted};
+  for (const NamedFleetReport &R : Reports) {
+    Elapsed += R.Report.ElapsedSeconds;
+    for (unsigned I = 0; I != 7; ++I)
+      Totals[I] += R.Report.count(All[I]);
+  }
   std::fprintf(
       stderr,
       "dmcc-fleet: %u ok, %u mismatch, %u deadlock, %u "
       "transport-exhausted, %u timeout, %u worker-crash, %u "
       "retry-exhausted in %.2f s\n",
-      Rep.count(ScenarioStatus::Ok), Rep.count(ScenarioStatus::Mismatch),
-      Rep.count(ScenarioStatus::Deadlock),
-      Rep.count(ScenarioStatus::TransportExhausted),
-      Rep.count(ScenarioStatus::Timeout),
-      Rep.count(ScenarioStatus::WorkerCrash),
-      Rep.count(ScenarioStatus::RetryExhausted), Rep.ElapsedSeconds);
+      Totals[0], Totals[1], Totals[2], Totals[3], Totals[4], Totals[5],
+      Totals[6], Elapsed);
 
   // Any mismatch against the clean sequential run is a correctness
   // failure of dmcc itself, not of the hostile scenario.
-  return Rep.count(ScenarioStatus::Mismatch) ? ExitVerifyMismatch
-                                             : ExitSuccess;
+  return Totals[1] ? ExitVerifyMismatch : ExitSuccess;
 }
